@@ -1,0 +1,292 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus ablation benches for the design choices called out in DESIGN.md.
+// Each benchmark regenerates the corresponding artifact; run
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/benchtables for a human-readable report of every artifact.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/dnnf"
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/imdb"
+	"repro/internal/sampling"
+	"repro/internal/tpch"
+)
+
+// benchCorpus is shared by the table/figure benchmarks: running the exact
+// pipeline over the whole corpus is itself the measured operation in
+// BenchmarkTable1, while the comparison benchmarks reuse its artifacts.
+var (
+	corpusOnce sync.Once
+	corpusVal  *bench.Corpus
+	corpusErr  error
+)
+
+func benchOptions() bench.Options {
+	o := bench.DefaultOptions()
+	o.TPCH = tpch.Config{Customers: 15, OrdersPerCustomer: 2, LinesPerOrder: 3, Parts: 20, Suppliers: 8, Seed: 42}
+	o.IMDB = imdb.Config{Movies: 30, People: 40, Companies: 10, Keywords: 15, CastPerMovie: 3, Seed: 7}
+	o.Timeout = 2 * time.Second
+	o.MaxTuplesPerQuery = 40
+	return o
+}
+
+func benchCorpus(b *testing.B) *bench.Corpus {
+	b.Helper()
+	corpusOnce.Do(func() {
+		corpusVal, corpusErr = bench.RunCorpus(benchOptions())
+	})
+	if corpusErr != nil {
+		b.Fatal(corpusErr)
+	}
+	return corpusVal
+}
+
+// BenchmarkTable1 regenerates Table 1: the exact pipeline (provenance →
+// Tseytin → knowledge compilation → Lemma 4.6 → Algorithm 1) over every
+// output tuple of the TPC-H and IMDB suites, with per-query statistics.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := bench.RunCorpus(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = bench.Table1(c)
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: Monte Carlo and Kernel SHAP at
+// 50·#facts samples versus CNF Proxy, with quality metrics against the
+// exact ground truth.
+func BenchmarkTable2(b *testing.B) {
+	c := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := bench.CompareInexact(c, []int{50}, 99)
+		_ = bench.Table2(recs, 50)
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: KC and Algorithm 1 time as a
+// function of #facts, #CNF clauses, and d-DNNF size.
+func BenchmarkFigure4(b *testing.B) {
+	c := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bench.Figure4(c)
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: Algorithm 1 running time on
+// representative TPC-H query outputs as the lineitem table scales.
+func BenchmarkFigure5(b *testing.B) {
+	base := benchOptions().TPCH
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunScaling(base, []float64{0.25, 0.5, 0.75, 1.0},
+			[]string{"q3", "q10", "q9", "q19"}, 2,
+			core.PipelineOptions{CompileTimeout: 2 * time.Second, ShapleyTimeout: 2 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = bench.RenderScaling(points)
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: inexact-method time and quality as
+// a function of the sampling budget m ∈ {10n, ..., 50n}.
+func BenchmarkFigure6(b *testing.B) {
+	c := benchCorpus(b)
+	budgets := []int{10, 20, 30, 40, 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := bench.CompareInexact(c, budgets, 7)
+		_ = bench.Figure6(recs, budgets)
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: the distribution and worst case of
+// time/nDCG/P@10 per provenance-size bucket at budget 20n.
+func BenchmarkFigure7(b *testing.B) {
+	c := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := bench.CompareInexact(c, []int{20}, 11)
+		_ = bench.Figure7(recs, 20)
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: hybrid success rate and mean
+// execution time as a function of the timeout.
+func BenchmarkFigure8(b *testing.B) {
+	c := benchCorpus(b)
+	timeouts := []time.Duration{
+		100 * time.Millisecond, 500 * time.Millisecond, time.Second,
+		2500 * time.Millisecond, 5 * time.Second,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := bench.Figure8(c, timeouts)
+		_ = bench.RenderFigure8(points)
+	}
+}
+
+// --- micro-benchmarks of the core algorithms ---
+
+func flightsLineage(b *testing.B) (*circuit.Node, []FactID) {
+	b.Helper()
+	d, _ := flights.Build()
+	cb := circuit.NewBuilder()
+	elin, err := engine.EvalBoolean(d, flights.Query(), cb, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	endo := make([]FactID, 0, 8)
+	for _, f := range d.EndogenousFacts() {
+		endo = append(endo, f.ID)
+	}
+	return elin, endo
+}
+
+// BenchmarkAlgorithm1 measures the full exact pipeline on the paper's
+// running example.
+func BenchmarkAlgorithm1(b *testing.B) {
+	elin, endo := flightsLineage(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExplainCircuit(elin, endo, core.PipelineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCNFProxy measures Algorithm 2 on the running example's Tseytin
+// CNF.
+func BenchmarkCNFProxy(b *testing.B) {
+	elin, endo := flightsLineage(b)
+	formula := cnf.TseytinReserving(elin, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.CNFProxy(formula, endo)
+	}
+}
+
+// BenchmarkMonteCarlo and BenchmarkKernelSHAP measure the sampling
+// baselines at budget 50·n on the running example.
+func BenchmarkMonteCarlo(b *testing.B) {
+	elin, _ := flightsLineage(b)
+	g := sampling.NewGame(elin)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sampling.MonteCarlo(g, 50*g.NumPlayers(), rng)
+	}
+}
+
+func BenchmarkKernelSHAP(b *testing.B) {
+	elin, _ := flightsLineage(b)
+	g := sampling.NewGame(elin)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sampling.KernelSHAP(g, 50*g.NumPlayers(), rng)
+	}
+}
+
+// --- ablation benches (design choices called out in DESIGN.md) ---
+
+// hardCNF returns a CNF that takes the compiler some real work: the Tseytin
+// transformation of a wide IMDB lineage.
+func hardCNF(b *testing.B) *cnf.Formula {
+	b.Helper()
+	c := benchCorpus(b)
+	var best *bench.TupleResult
+	for _, t := range c.SuccessfulTuples() {
+		if best == nil || t.NumFacts > best.NumFacts {
+			best = t
+		}
+	}
+	if best == nil {
+		b.Skip("no successful tuples in corpus")
+	}
+	return best.CNF
+}
+
+// BenchmarkAblationComponentCache quantifies the compiler's component cache.
+func BenchmarkAblationComponentCache(b *testing.B) {
+	f := hardCNF(b)
+	b.Run("cache=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dnnf.Compile(f, dnnf.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dnnf.Compile(f, dnnf.Options{DisableCache: true, Timeout: 10 * time.Second}); err != nil {
+				if err == dnnf.ErrTimeout {
+					b.Skip("cache-off compilation exceeds 10s on this instance — the ablation's point")
+				}
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationVarOrder compares the dynamic most-frequent heuristic
+// against static lexicographic branching.
+func BenchmarkAblationVarOrder(b *testing.B) {
+	f := hardCNF(b)
+	b.Run("order=most-frequent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dnnf.Compile(f, dnnf.Options{Order: dnnf.OrderMostFrequent}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("order=lexicographic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dnnf.Compile(f, dnnf.Options{Order: dnnf.OrderLexicographic, Timeout: 10 * time.Second}); err != nil {
+				if err == dnnf.ErrTimeout {
+					b.Skip("lexicographic compilation exceeds 10s on this instance")
+				}
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationExactVsFloatCounts compares the exact big-integer
+// #SAT_k dynamic program against the float64 variant (which loses exactness
+// on large circuits and is therefore not used by Algorithm 1).
+func BenchmarkAblationExactVsFloatCounts(b *testing.B) {
+	f := hardCNF(b)
+	compiled, _, err := dnnf.Compile(f, dnnf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reduced := dnnf.EliminateAux(compiled, func(v int) bool { return f.Aux[v] })
+	b.Run("counts=big.Int", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.ComputeAllSATk(reduced)
+		}
+	})
+	b.Run("counts=float64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.FloatSATk(reduced)
+		}
+	})
+}

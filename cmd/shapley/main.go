@@ -1,0 +1,128 @@
+// Command shapley computes Shapley values of database facts for query
+// answers, end to end: it loads one of the built-in datasets (the paper's
+// flights running example, or a synthetic TPC-H or IMDB instance), runs a
+// query — either a named suite query or one given in datalog syntax — and
+// prints the ranked fact contributions for every output tuple.
+//
+// Usage:
+//
+//	shapley -dataset flights
+//	shapley -dataset tpch -query q3 -timeout 2.5s
+//	shapley -dataset imdb -query 8d -top 5
+//	shapley -dataset tpch -q "q(ck) :- customer(ck, cn, nk, seg, cb), orders(ok, ck, os, tp, od, op)"
+//	shapley -dataset flights -method proxy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/db"
+	"repro/internal/flights"
+	"repro/internal/imdb"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "flights", "dataset: flights, tpch, or imdb")
+		queryNm = flag.String("query", "", "named suite query (e.g. q3 for tpch, 8d for imdb); default: the dataset's demo query")
+		queryTx = flag.String("q", "", "inline datalog query text (overrides -query)")
+		timeout = flag.Duration("timeout", 2500*time.Millisecond, "exact-computation budget per output tuple (0 = unbounded)")
+		top     = flag.Int("top", 10, "how many facts to print per output tuple")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor for tpch/imdb")
+		method  = flag.String("method", "hybrid", "hybrid (exact with proxy fallback) or proxy (force CNF Proxy via zero budget)")
+	)
+	flag.Parse()
+
+	d, q, err := load(*dataset, *queryNm, *queryTx, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapley:", err)
+		os.Exit(1)
+	}
+
+	opts := repro.Options{Timeout: *timeout}
+	if *method == "proxy" {
+		// A 1-node budget forces the proxy path without waiting.
+		opts.MaxNodes = 1
+		opts.Timeout = time.Millisecond
+	}
+
+	start := time.Now()
+	explanations, err := repro.Explain(d, q, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapley:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("query:\n%s\n\n%d output tuple(s) in %v\n\n", q, len(explanations), time.Since(start))
+	for _, e := range explanations {
+		tuple := e.Tuple.String()
+		if len(e.Tuple) == 0 {
+			tuple = "(yes)"
+		}
+		fmt.Printf("answer %s — %d provenance fact(s), method=%v, %v\n",
+			tuple, e.NumFacts, e.Method, e.Elapsed.Round(time.Microsecond))
+		for rank, f := range e.TopFacts(*top) {
+			fact := d.Fact(f)
+			fmt.Printf("  %2d. %-60s %.6f\n", rank+1, factLabel(fact), e.Score(f))
+		}
+		fmt.Println()
+	}
+}
+
+func factLabel(f *db.Fact) string {
+	if f == nil {
+		return "(unknown fact)"
+	}
+	return fmt.Sprintf("%s%s", f.Relation, f.Tuple)
+}
+
+func load(dataset, queryNm, queryTx string, scale float64) (*repro.Database, *repro.Query, error) {
+	var d *repro.Database
+	switch dataset {
+	case "flights":
+		d, _ = flights.Build()
+	case "tpch":
+		d = tpch.Generate(tpch.DefaultConfig().Scaled(scale))
+	case "imdb":
+		d = imdb.Generate(imdb.DefaultConfig().Scaled(scale))
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (want flights, tpch, or imdb)", dataset)
+	}
+
+	if queryTx != "" {
+		q, err := repro.ParseQuery(queryTx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d, q, nil
+	}
+
+	switch dataset {
+	case "flights":
+		return d, flights.Query(), nil
+	case "tpch":
+		if queryNm == "" {
+			queryNm = "q3"
+		}
+		for _, bq := range tpch.Queries() {
+			if bq.Name == queryNm {
+				return d, bq.Q, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("unknown tpch query %q", queryNm)
+	default: // imdb
+		if queryNm == "" {
+			queryNm = "1a"
+		}
+		for _, bq := range imdb.Queries() {
+			if bq.Name == queryNm {
+				return d, bq.Q, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("unknown imdb query %q", queryNm)
+	}
+}

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Table1 renders the per-query exact-computation statistics of Table 1:
+// joined tables, filter conditions, provenance-generation time, output
+// count, success rate, and KC / Algorithm 1 time percentiles.
+func Table1(c *Corpus) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Dataset\tQuery\t#Joined\t#Filters\tExec[s]\t#Tuples\tSuccess\tKC mean\tKC p50\tKC p99\tAlg1 mean\tAlg1 p50\tAlg1 p99")
+	for _, r := range c.Runs {
+		var kc, alg []float64
+		for _, t := range r.Tuples {
+			if t.Success {
+				kc = append(kc, t.KCTime.Seconds())
+				alg = append(alg, t.ShapleyTime.Seconds())
+			}
+		}
+		ks, as := metrics.Summarize(kc), metrics.Summarize(alg)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.3f\t%d\t%.1f%%\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			r.Dataset, r.Name, r.Q.NumAtoms(), r.Q.NumFilters(),
+			r.ExecTime.Seconds(), len(r.Tuples), 100*r.SuccessRate(),
+			ks.Mean, ks.P50, ks.P99, as.Mean, as.P50, as.P99)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Table2 renders the median (mean) comparison of the inexact methods at the
+// largest sampling budget, mirroring Table 2's rows: execution time, L1,
+// L2, nDCG, Precision@5, Precision@10.
+func Table2(recs []InexactRecord, budgetPerFact int) string {
+	mc := FilterRecords(recs, MethodMonteCarlo, budgetPerFact)
+	ks := FilterRecords(recs, MethodKernelSHAP, budgetPerFact)
+	px := FilterRecords(recs, MethodProxy, 0)
+
+	row := func(name string, f func([]InexactRecord) []float64) string {
+		cell := func(rs []InexactRecord) string {
+			xs := f(rs)
+			return fmt.Sprintf("%.4g (%.4g)", metrics.Median(xs), metrics.Mean(xs))
+		}
+		return fmt.Sprintf("%s\t%s\t%s\t%s\n", name, cell(mc), cell(ks), cell(px))
+	}
+
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Metric\tMonte Carlo\tKernel SHAP\tCNF Proxy\n")
+	fmt.Fprintf(w, "(budget %d·#facts; median (mean))\t\t\t\n", budgetPerFact)
+	fmt.Fprint(w, row("Execution time [s]", seconds))
+	fmt.Fprint(w, row("L1", l1s))
+	fmt.Fprint(w, row("L2", l2s))
+	fmt.Fprint(w, row("nDCG", ndcgs))
+	fmt.Fprint(w, row("Precision@5", p5s))
+	fmt.Fprint(w, row("Precision@10", p10s))
+	w.Flush()
+	return sb.String()
+}
+
+// Figure4 renders the knowledge-compilation and Algorithm 1 running times
+// binned by provenance features — the six panels of Figure 4 as binned
+// series (median seconds per bin).
+func Figure4(c *Corpus) string {
+	type axis struct {
+		title string
+		value func(*TupleResult) int
+	}
+	axes := []axis{
+		{"#facts", func(t *TupleResult) int { return t.NumFacts }},
+		{"#CNF clauses", func(t *TupleResult) int { return t.NumClauses }},
+		{"d-DNNF size", func(t *TupleResult) int { return t.DNNFSize }},
+	}
+	var sb strings.Builder
+	for _, ax := range axes {
+		bins := map[string][]*TupleResult{}
+		var keys []string
+		for _, t := range c.Tuples() {
+			if !t.Success {
+				continue
+			}
+			k := binLabel(ax.value(t))
+			if _, ok := bins[k]; !ok {
+				keys = append(keys, k)
+			}
+			bins[k] = append(bins[k], t)
+		}
+		sort.Slice(keys, func(i, j int) bool { return binOrder(keys[i]) < binOrder(keys[j]) })
+		fmt.Fprintf(&sb, "Figure 4: time vs %s\n", ax.title)
+		w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "bin\tn\tKC p50 [s]\tAlg1 p50 [s]")
+		for _, k := range keys {
+			var kc, alg []float64
+			for _, t := range bins[k] {
+				kc = append(kc, t.KCTime.Seconds())
+				alg = append(alg, t.ShapleyTime.Seconds())
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.5f\t%.5f\n", k, len(bins[k]),
+				metrics.Median(kc), metrics.Median(alg))
+		}
+		w.Flush()
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+var binBounds = []int{10, 25, 50, 100, 200, 400, 1000, 10000, 100000}
+
+func binLabel(v int) string {
+	lo := 1
+	for _, hi := range binBounds {
+		if v <= hi {
+			return fmt.Sprintf("%d-%d", lo, hi)
+		}
+		lo = hi + 1
+	}
+	return fmt.Sprintf(">%d", binBounds[len(binBounds)-1])
+}
+
+func binOrder(label string) int {
+	var lo int
+	fmt.Sscanf(strings.TrimPrefix(label, ">"), "%d", &lo)
+	return lo
+}
+
+// Figure6 renders the inexact-method metrics as a function of the sampling
+// budget (panels a–c: execution time, nDCG, Precision@10). CNF Proxy has no
+// budget and appears as a constant reference row.
+func Figure6(recs []InexactRecord, budgets []int) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Method\tBudget/fact\ttime p50 [s]\tnDCG p50\tP@10 p50")
+	for _, m := range []string{MethodMonteCarlo, MethodKernelSHAP} {
+		for _, b := range budgets {
+			rs := FilterRecords(recs, m, b)
+			fmt.Fprintf(w, "%s\t%d\t%.5f\t%.4f\t%.4f\n", m, b,
+				metrics.Median(seconds(rs)), metrics.Median(ndcgs(rs)), metrics.Median(p10s(rs)))
+		}
+	}
+	px := FilterRecords(recs, MethodProxy, 0)
+	fmt.Fprintf(w, "%s\t-\t%.5f\t%.4f\t%.4f\n", MethodProxy,
+		metrics.Median(seconds(px)), metrics.Median(ndcgs(px)), metrics.Median(p10s(px)))
+	w.Flush()
+	return sb.String()
+}
+
+// Figure7 renders the distribution (median) and worst case of time, nDCG,
+// and Precision@10 per provenance-size bucket, at a fixed 20·n budget for
+// the sampling methods (panels a–f).
+func Figure7(recs []InexactRecord, budgetPerFact int) string {
+	sets := map[string][]InexactRecord{
+		MethodMonteCarlo: FilterRecords(recs, MethodMonteCarlo, budgetPerFact),
+		MethodKernelSHAP: FilterRecords(recs, MethodKernelSHAP, budgetPerFact),
+		MethodProxy:      FilterRecords(recs, MethodProxy, 0),
+	}
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Method\t#facts bin\tn\ttime p50\ttime max\tnDCG p50\tnDCG min\tP@10 p50\tP@10 min")
+	for _, m := range []string{MethodMonteCarlo, MethodKernelSHAP, MethodProxy} {
+		bins := map[string][]InexactRecord{}
+		var keys []string
+		for _, r := range sets[m] {
+			k := binLabel(r.NumFacts)
+			if _, ok := bins[k]; !ok {
+				keys = append(keys, k)
+			}
+			bins[k] = append(bins[k], r)
+		}
+		sort.Slice(keys, func(i, j int) bool { return binOrder(keys[i]) < binOrder(keys[j]) })
+		for _, k := range keys {
+			rs := bins[k]
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.5f\t%.5f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				m, k, len(rs),
+				metrics.Median(seconds(rs)), maxOf(seconds(rs)),
+				metrics.Median(ndcgs(rs)), minOf(ndcgs(rs)),
+				metrics.Median(p10s(rs)), minOf(p10s(rs)))
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+func maxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// HybridPoint is one timeout setting of Figure 8.
+type HybridPoint struct {
+	Timeout     time.Duration
+	SuccessRate map[string]float64 // per dataset
+	MeanTime    map[string]float64 // per dataset, seconds
+}
+
+// Figure8 derives the hybrid strategy's success rate (panel a) and mean
+// execution time (panel b) for each timeout from the recorded per-tuple
+// exact costs: a tuple counts as an exact success at timeout t if its exact
+// pipeline succeeded within t; otherwise the hybrid pays t plus the CNF
+// Proxy cost.
+func Figure8(c *Corpus, timeouts []time.Duration) []HybridPoint {
+	// Measure proxy cost once per tuple.
+	proxyCost := make(map[*TupleResult]float64)
+	for _, t := range c.Tuples() {
+		if t.CNF == nil {
+			continue
+		}
+		t0 := time.Now()
+		core.CNFProxy(t.CNF, t.Endo)
+		proxyCost[t] = time.Since(t0).Seconds()
+	}
+	var out []HybridPoint
+	for _, timeout := range timeouts {
+		p := HybridPoint{
+			Timeout:     timeout,
+			SuccessRate: map[string]float64{},
+			MeanTime:    map[string]float64{},
+		}
+		sums := map[string]float64{}
+		hits := map[string]int{}
+		counts := map[string]int{}
+		for _, t := range c.Tuples() {
+			counts[t.Dataset]++
+			exact := t.ExactTotal().Seconds()
+			if t.Success && exact <= timeout.Seconds() {
+				hits[t.Dataset]++
+				sums[t.Dataset] += exact
+			} else {
+				sums[t.Dataset] += timeout.Seconds() + proxyCost[t]
+			}
+		}
+		for ds, n := range counts {
+			p.SuccessRate[ds] = float64(hits[ds]) / float64(n)
+			p.MeanTime[ds] = sums[ds] / float64(n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RenderFigure8 formats the hybrid sweep as text.
+func RenderFigure8(points []HybridPoint) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Timeout\tDataset\tSuccess\tMean hybrid time [s]")
+	for _, p := range points {
+		var datasets []string
+		for ds := range p.SuccessRate {
+			datasets = append(datasets, ds)
+		}
+		sort.Strings(datasets)
+		for _, ds := range datasets {
+			fmt.Fprintf(w, "%v\t%s\t%.2f%%\t%.4f\n", p.Timeout, ds,
+				100*p.SuccessRate[ds], p.MeanTime[ds])
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// ScalingPoint is one (query output, scale) measurement of Figure 5.
+type ScalingPoint struct {
+	Query     string
+	Tuple     string
+	Scale     float64
+	Lineitems int
+	NumFacts  int
+	Alg1Time  time.Duration
+	Success   bool
+}
+
+// RenderScaling formats the Figure 5 sweep.
+func RenderScaling(points []ScalingPoint) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Query\tOutput\tScale\t#lineitems\t#facts\tAlg1 [s]\tOK")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%d\t%d\t%.5f\t%v\n",
+			p.Query, p.Tuple, p.Scale, p.Lineitems, p.NumFacts,
+			p.Alg1Time.Seconds(), p.Success)
+	}
+	w.Flush()
+	return sb.String()
+}

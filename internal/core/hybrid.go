@@ -1,0 +1,88 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/db"
+)
+
+// Method identifies which algorithm produced a hybrid result.
+type Method uint8
+
+// Hybrid outcome methods.
+const (
+	// MethodExact means the exact pipeline finished within its budget and
+	// the result carries exact Shapley values.
+	MethodExact Method = iota
+	// MethodProxy means the exact pipeline timed out and the ranking was
+	// produced by CNF Proxy.
+	MethodProxy
+)
+
+func (m Method) String() string {
+	if m == MethodExact {
+		return "exact"
+	}
+	return "cnf-proxy"
+}
+
+// HybridResult is the outcome of the hybrid strategy: exact values when the
+// exact pipeline succeeded, otherwise a CNF Proxy ranking.
+type HybridResult struct {
+	Method  Method
+	Values  Values      // exact Shapley values; nil when Method == MethodProxy
+	Proxy   ProxyValues // proxy scores; nil when Method == MethodExact
+	Ranking []db.FactID // facts by decreasing contribution
+	Exact   *PipelineResult
+	Elapsed time.Duration
+}
+
+// HybridOptions configures the hybrid strategy of Section 6.3.
+type HybridOptions struct {
+	// Timeout is the budget t for the exact computation (compilation plus
+	// Algorithm 1); the paper recommends 2.5 s. Zero disables the fallback
+	// and runs exact unconditionally.
+	Timeout time.Duration
+	// MaxNodes bounds the compiled d-DNNF size (the out-of-memory analogue).
+	MaxNodes int
+}
+
+// Hybrid runs the exact computation under a time budget and falls back to
+// CNF Proxy on timeout or memory exhaustion: first run the exact pipeline
+// with timeout t; if it fails, transform the provenance to CNF and rank the
+// facts by their proxy values.
+func Hybrid(elin *circuit.Node, endo []db.FactID, opts HybridOptions) *HybridResult {
+	start := time.Now()
+	popts := PipelineOptions{
+		CompileTimeout:  opts.Timeout,
+		ShapleyTimeout:  opts.Timeout,
+		CompileMaxNodes: opts.MaxNodes,
+	}
+	res, err := ExplainCircuit(elin, endo, popts)
+	if err == nil {
+		return &HybridResult{
+			Method:  MethodExact,
+			Values:  res.Values,
+			Ranking: res.Values.Ranking(),
+			Exact:   res,
+			Elapsed: time.Since(start),
+		}
+	}
+	// Exact failed within budget: fall back to CNF Proxy. The Tseytin CNF
+	// was already produced by the pipeline (it never times out: it is linear
+	// in the circuit).
+	formula := res.CNF
+	if formula == nil {
+		formula = cnf.TseytinReserving(elin, maxFactID(endo))
+	}
+	proxy := CNFProxy(formula, endo)
+	return &HybridResult{
+		Method:  MethodProxy,
+		Proxy:   proxy,
+		Ranking: proxy.Ranking(),
+		Exact:   res,
+		Elapsed: time.Since(start),
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/db"
+)
+
+// MaxNaiveFacts bounds the number of endogenous facts accepted by the naive
+// exponential algorithms; beyond this the 2^n enumeration is hopeless.
+const MaxNaiveFacts = 25
+
+// BooleanGame is a cooperative game whose players are endogenous facts: it
+// maps a subset E ⊆ Dn (true = present) to q(Dx ∪ E) ∈ {0, 1}.
+type BooleanGame func(subset map[db.FactID]bool) bool
+
+// NaiveShapley computes exact Shapley values for every fact by direct
+// enumeration of all 2^n endogenous subsets (Equation (1)). It is the
+// testing ground truth for Algorithm 1 and fails for more than
+// MaxNaiveFacts facts.
+func NaiveShapley(game BooleanGame, endo []db.FactID) (Values, error) {
+	n := len(endo)
+	if n > MaxNaiveFacts {
+		return nil, fmt.Errorf("core: naive Shapley limited to %d facts, got %d", MaxNaiveFacts, n)
+	}
+	// Evaluate the game once per subset.
+	vals := make([]bool, 1<<n)
+	subset := make(map[db.FactID]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i, f := range endo {
+			subset[f] = mask&(1<<i) != 0
+		}
+		vals[mask] = game(subset)
+	}
+	coefs := ShapleyCoefficients(n)
+	out := make(Values, n)
+	for i, f := range endo {
+		total := new(big.Rat)
+		bit := 1 << i
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			with, without := vals[mask|bit], vals[mask]
+			if with == without {
+				continue
+			}
+			k := popcount(mask)
+			if with {
+				total.Add(total, coefs[k])
+			} else {
+				total.Sub(total, coefs[k])
+			}
+		}
+		out[f] = total
+	}
+	return out, nil
+}
+
+// RealGame is a cooperative game with real-valued (rational) wealth, used by
+// the CNF Proxy analysis: the proxy function φ̃ is such a game.
+type RealGame func(subset map[int]bool) *big.Rat
+
+// NaiveShapleyReal computes exact Shapley values of a real-valued game over
+// the given players by direct enumeration, as in the auxiliary definition of
+// Section 5.
+func NaiveShapleyReal(game RealGame, players []int) (map[int]*big.Rat, error) {
+	n := len(players)
+	if n > MaxNaiveFacts {
+		return nil, fmt.Errorf("core: naive Shapley limited to %d players, got %d", MaxNaiveFacts, n)
+	}
+	vals := make([]*big.Rat, 1<<n)
+	subset := make(map[int]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i, p := range players {
+			subset[p] = mask&(1<<i) != 0
+		}
+		vals[mask] = game(subset)
+	}
+	coefs := ShapleyCoefficients(n)
+	out := make(map[int]*big.Rat, n)
+	var diff, term big.Rat
+	for i, p := range players {
+		total := new(big.Rat)
+		bit := 1 << i
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			diff.Sub(vals[mask|bit], vals[mask])
+			if diff.Sign() == 0 {
+				continue
+			}
+			term.Mul(&diff, coefs[popcount(mask)])
+			total.Add(total, &term)
+		}
+		out[p] = total
+	}
+	return out, nil
+}
+
+// CountSlices computes #Slices(q, Dx, Dn, k) — the number of k-subsets
+// E ⊆ Dn with q(Dx ∪ E) = 1 — by enumeration, for testing the probabilistic
+// database reduction (Proposition 3.1).
+func CountSlices(game BooleanGame, endo []db.FactID) ([]*big.Int, error) {
+	n := len(endo)
+	if n > MaxNaiveFacts {
+		return nil, fmt.Errorf("core: naive #Slices limited to %d facts, got %d", MaxNaiveFacts, n)
+	}
+	out := make([]*big.Int, n+1)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	subset := make(map[db.FactID]bool, n)
+	one := big.NewInt(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i, f := range endo {
+			subset[f] = mask&(1<<i) != 0
+		}
+		if game(subset) {
+			k := popcount(mask)
+			out[k].Add(out[k], one)
+		}
+	}
+	return out, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/db"
+	"repro/internal/dnnf"
+)
+
+// ErrShapleyTimeout is returned when the Shapley evaluation step (not the
+// compilation) exceeds its deadline.
+var ErrShapleyTimeout = errors.New("core: Shapley evaluation timed out")
+
+// PipelineOptions configures the exact pipeline of Figure 3.
+type PipelineOptions struct {
+	// CompileTimeout bounds the knowledge-compilation step (zero = none).
+	CompileTimeout time.Duration
+	// CompileMaxNodes bounds d-DNNF size, standing in for c2d's memory
+	// exhaustion failures (zero = none).
+	CompileMaxNodes int
+	// ShapleyTimeout bounds Algorithm 1 itself (zero = none). The check is
+	// per-fact, matching the granularity at which work can be abandoned.
+	ShapleyTimeout time.Duration
+	// Order selects the compiler's branching heuristic.
+	Order dnnf.VarOrder
+	// DisableCache turns off the compiler's component cache (ablation).
+	DisableCache bool
+}
+
+// PipelineResult carries the artifacts and stage timings of one end-to-end
+// exact computation for a single output tuple.
+type PipelineResult struct {
+	// CNF is the Tseytin transformation of the endogenous lineage.
+	CNF *cnf.Formula
+	// DNNF is the compiled circuit after Tseytin-variable elimination
+	// (Lemma 4.6); its variables are endogenous fact IDs.
+	DNNF *dnnf.Node
+	// Values holds the exact Shapley value of every endogenous fact.
+	Values Values
+
+	NumFacts     int // distinct endogenous facts in the lineage
+	NumClauses   int
+	DNNFSize     int
+	TseytinTime  time.Duration
+	CompileTime  time.Duration
+	ShapleyTime  time.Duration
+	CompileStats dnnf.Stats
+}
+
+// ExplainCircuit runs the full exact pipeline on an endogenous lineage
+// circuit: Tseytin transformation, knowledge compilation to d-DNNF,
+// auxiliary-variable elimination (Lemma 4.6), and Algorithm 1 for every
+// endogenous fact. It returns dnnf.ErrTimeout or dnnf.ErrNodeBudget when
+// compilation exceeds its budget and ErrShapleyTimeout when evaluation does;
+// in those cases the hybrid strategy falls back to CNF Proxy.
+func ExplainCircuit(elin *circuit.Node, endo []db.FactID, opts PipelineOptions) (*PipelineResult, error) {
+	res := &PipelineResult{NumFacts: len(circuit.Vars(elin))}
+
+	t0 := time.Now()
+	formula := cnf.TseytinReserving(elin, maxFactID(endo))
+	res.TseytinTime = time.Since(t0)
+	res.CNF = formula
+	res.NumClauses = formula.NumClauses()
+
+	t1 := time.Now()
+	compiled, stats, err := dnnf.Compile(formula, dnnf.Options{
+		Timeout:      opts.CompileTimeout,
+		MaxNodes:     opts.CompileMaxNodes,
+		DisableCache: opts.DisableCache,
+		Order:        opts.Order,
+	})
+	res.CompileStats = stats
+	if err != nil {
+		return res, err
+	}
+	reduced := dnnf.EliminateAux(compiled, func(v int) bool { return formula.Aux[v] })
+	res.CompileTime = time.Since(t1)
+	res.DNNF = reduced
+	res.DNNFSize = dnnf.Size(reduced)
+
+	t2 := time.Now()
+	values, err := shapleyAllDeadline(reduced, endo, opts.ShapleyTimeout)
+	res.ShapleyTime = time.Since(t2)
+	if err != nil {
+		return res, err
+	}
+	res.Values = values
+	return res, nil
+}
+
+// maxFactID returns the largest endogenous fact ID, used to reserve the
+// fact-ID range so Tseytin auxiliaries never collide with facts absent from
+// the lineage.
+func maxFactID(endo []db.FactID) int {
+	m := 0
+	for _, id := range endo {
+		if int(id) > m {
+			m = int(id)
+		}
+	}
+	return m
+}
+
+// shapleyAllDeadline is ShapleyAll with a per-fact deadline check.
+func shapleyAllDeadline(c *dnnf.Node, endo []db.FactID, timeout time.Duration) (Values, error) {
+	if timeout <= 0 {
+		return ShapleyAll(c, endo), nil
+	}
+	deadline := time.Now().Add(timeout)
+	out := make(Values, len(endo))
+	n := len(endo)
+	if n == 0 {
+		return out, nil
+	}
+	coefs := ShapleyCoefficients(n)
+	support := make(map[db.FactID]bool, len(c.Vars()))
+	for _, v := range c.Vars() {
+		support[db.FactID(v)] = true
+	}
+	b := dnnf.NewBuilder()
+	for _, f := range endo {
+		if !support[f] {
+			out[f] = new(big.Rat)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, ErrShapleyTimeout
+		}
+		gamma := conditionedCounts(b, c, int(f), true, n-1)
+		delta := conditionedCounts(b, c, int(f), false, n-1)
+		out[f] = weightedDifference(gamma, delta, coefs)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/cnf"
+	"repro/internal/db"
+)
+
+// ProxyValues maps endogenous fact IDs to their CNF Proxy scores. Proxy
+// scores are not Shapley values — they are the Shapley values of the proxy
+// game φ̃ = Σ_i ψ_i/n — but ranking facts by proxy score tends to agree with
+// ranking by true Shapley value (Section 5).
+type ProxyValues map[db.FactID]*big.Rat
+
+// Float returns the scores as float64s.
+func (p ProxyValues) Float() map[db.FactID]float64 {
+	out := make(map[db.FactID]float64, len(p))
+	for id, r := range p {
+		f, _ := r.Float64()
+		out[id] = f
+	}
+	return out
+}
+
+// Ranking returns the fact IDs sorted by decreasing proxy score, ties broken
+// by increasing fact ID.
+func (p ProxyValues) Ranking() []db.FactID {
+	ids := make([]db.FactID, 0, len(p))
+	for id := range p {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		c := p[ids[i]].Cmp(p[ids[j]])
+		if c != 0 {
+			return c > 0
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// CNFProxy implements Algorithm 2: given a CNF φ (typically the Tseytin
+// transformation of the endogenous lineage circuit) and the set of
+// endogenous facts, it computes for each fact x the value Shapley(φ̃, x) of
+// the proxy function φ̃(ν) = Σ_i ψ_i(ν)/n, using the closed form of
+// Lemma 5.2:
+//
+//	Φ(ψ_i, x) = +1 / (m·C(m−1, bᵢ))  if x occurs positively in ψ_i
+//	            −1 / (m·C(m−1, aᵢ))  if x occurs negatively in ψ_i
+//
+// where m = aᵢ+bᵢ is the number of literals and aᵢ (bᵢ) the number of
+// positive (negative) literals of clause ψ_i; the clause contributions are
+// averaged over the n clauses. The computation is linear in |φ|.
+func CNFProxy(f *cnf.Formula, endo []db.FactID) ProxyValues {
+	isEndo := make(map[int]bool, len(endo))
+	out := make(ProxyValues, len(endo))
+	for _, id := range endo {
+		isEndo[int(id)] = true
+		out[id] = new(big.Rat)
+	}
+	n := int64(len(f.Clauses))
+	if n == 0 {
+		return out
+	}
+	var term big.Rat
+	for _, clause := range f.Clauses {
+		m := int64(len(clause))
+		pos, neg := int64(0), int64(0)
+		for _, l := range clause {
+			if l.Positive() {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		for _, l := range clause {
+			v := l.Var()
+			if !isEndo[v] {
+				continue
+			}
+			if l.Positive() {
+				// +1 / (n · m · C(m−1, neg))
+				term.SetFrac(big.NewInt(1),
+					new(big.Int).Mul(big.NewInt(n*m), binom(m-1, neg)))
+				out[db.FactID(v)].Add(out[db.FactID(v)], &term)
+			} else {
+				// −1 / (n · m · C(m−1, pos))
+				term.SetFrac(big.NewInt(-1),
+					new(big.Int).Mul(big.NewInt(n*m), binom(m-1, pos)))
+				out[db.FactID(v)].Add(out[db.FactID(v)], &term)
+			}
+		}
+	}
+	return out
+}
+
+// ProxyGame returns the real-valued proxy game φ̃ of the formula: the
+// fraction of clauses satisfied by an assignment. It is used by tests to
+// check the Lemma 5.2 closed form against naive enumeration.
+func ProxyGame(f *cnf.Formula) RealGame {
+	n := int64(len(f.Clauses))
+	return func(subset map[int]bool) *big.Rat {
+		if n == 0 {
+			return new(big.Rat)
+		}
+		sat := int64(0)
+		for _, clause := range f.Clauses {
+			for _, l := range clause {
+				if subset[l.Var()] == l.Positive() {
+					sat++
+					break
+				}
+			}
+		}
+		return big.NewRat(sat, n)
+	}
+}
+
+func binom(n, k int64) *big.Int {
+	return new(big.Int).Binomial(n, k)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/db"
+)
+
+// TestProxyExample51 reproduces Example 5.1: φ = (x1∨x2) ∧ (x1∨x3∨x4).
+// Shapley values of the proxy game φ̃ = (ψ1+ψ2)/2 preserve the true-Shapley
+// ordering x1 > x2 > x3 = x4. (The example in the paper lists the values of
+// the unnormalized sum ψ1+ψ2, twice ours; the ordering is identical.)
+func TestProxyExample51(t *testing.T) {
+	f := &cnf.Formula{
+		Clauses: []cnf.Clause{{1, 2}, {1, 3, 4}},
+		Aux:     map[int]bool{},
+		MaxVar:  4,
+	}
+	endo := []db.FactID{1, 2, 3, 4}
+	v := CNFProxy(f, endo)
+
+	// Closed form: x1: (1/(2·1) + 1/(3·1))/2 = 5/12; x2: (1/2)/2 = 1/4;
+	// x3, x4: (1/3)/2 = 1/6.
+	ratEq(t, v[1], 5, 12, "proxy(x1)")
+	ratEq(t, v[2], 1, 4, "proxy(x2)")
+	ratEq(t, v[3], 1, 6, "proxy(x3)")
+	ratEq(t, v[4], 1, 6, "proxy(x4)")
+
+	r := v.Ranking()
+	if r[0] != 1 || r[1] != 2 {
+		t.Errorf("proxy ranking = %v, want x1 first then x2", r)
+	}
+
+	// True Shapley values of φ (7/12, 3/12, 1/12, 1/12 per the paper) have
+	// the same order.
+	game := func(subset map[db.FactID]bool) bool {
+		a := map[int]bool{}
+		for id, in := range subset {
+			a[int(id)] = in
+		}
+		return f.Eval(a)
+	}
+	truth, err := NaiveShapley(game, endo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratEq(t, truth[1], 7, 12, "Shapley(x1)")
+	ratEq(t, truth[2], 3, 12, "Shapley(x2)")
+	ratEq(t, truth[3], 1, 12, "Shapley(x3)")
+	ratEq(t, truth[4], 1, 12, "Shapley(x4)")
+}
+
+// TestProxyMatchesLemma52 verifies the Lemma 5.2 closed form against naive
+// Shapley enumeration of the proxy game on random CNFs.
+func TestProxyMatchesLemma52(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		f := randomTestCNF(rng, 2+rng.Intn(4), 1+rng.Intn(5))
+		// Lemma 5.2 assumes no variable occurs twice in one clause;
+		// normalize by dropping clauses violating it.
+		var kept []cnf.Clause
+		for _, cl := range f.Clauses {
+			seen := map[int]bool{}
+			ok := true
+			for _, l := range cl {
+				if seen[l.Var()] {
+					ok = false
+					break
+				}
+				seen[l.Var()] = true
+			}
+			if ok {
+				kept = append(kept, cl)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		f.Clauses = kept
+
+		players := f.Vars()
+		endo := make([]db.FactID, len(players))
+		for i, p := range players {
+			endo[i] = db.FactID(p)
+		}
+		got := CNFProxy(f, endo)
+		want, err := NaiveShapleyReal(ProxyGame(f), players)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range players {
+			if got[db.FactID(p)].Cmp(want[p]) != 0 {
+				t.Fatalf("trial %d: var %d: proxy = %v, naive Shapley of φ̃ = %v\nclauses: %v",
+					trial, p, got[db.FactID(p)], want[p], f.Clauses)
+			}
+		}
+	}
+}
+
+// TestProxyFlightsOrdering checks Example 5.3's qualitative claim on the
+// one-stop query: a2..a5 rank strictly above a6, a7 under CNF Proxy.
+func TestProxyFlightsOrdering(t *testing.T) {
+	elin, endo, fs := flightsELin(t)
+	formula := cnf.TseytinReserving(elin, 16)
+	v := CNFProxy(formula, endo)
+	for i := 2; i <= 5; i++ {
+		for j := 6; j <= 7; j++ {
+			if v[fs.A[i].ID].Cmp(v[fs.A[j].ID]) <= 0 {
+				t.Errorf("proxy(a%d)=%v not greater than proxy(a%d)=%v",
+					i, v[fs.A[i].ID], j, v[fs.A[j].ID])
+			}
+		}
+	}
+	// a8 never occurs in the lineage: proxy value must be exactly 0.
+	ratEq(t, v[fs.A[8].ID], 0, 1, "proxy(a8)")
+}
+
+// TestProxyIgnoresAuxVars: Tseytin auxiliaries must not receive scores.
+func TestProxyIgnoresAuxVars(t *testing.T) {
+	elin, endo, _ := flightsELin(t)
+	formula := cnf.TseytinReserving(elin, 16)
+	v := CNFProxy(formula, endo)
+	if len(v) != len(endo) {
+		t.Errorf("proxy returned %d scores for %d endogenous facts", len(v), len(endo))
+	}
+	for id := range v {
+		if formula.Aux[int(id)] {
+			t.Errorf("auxiliary variable %d received a proxy score", id)
+		}
+	}
+}
+
+func TestProxyEmptyFormula(t *testing.T) {
+	f := &cnf.Formula{Aux: map[int]bool{}}
+	v := CNFProxy(f, []db.FactID{1, 2})
+	ratEq(t, v[1], 0, 1, "proxy on empty formula")
+	ratEq(t, v[2], 0, 1, "proxy on empty formula")
+}
+
+func TestProxyNegativeOccurrences(t *testing.T) {
+	// φ = (¬x1 ∨ x2): x1 appears negatively. Lemma 5.2 gives
+	// Φ = −1/(m·C(m−1, a)) with m=2, a=1 → −1/2; n=1 clause.
+	f := &cnf.Formula{Clauses: []cnf.Clause{{-1, 2}}, Aux: map[int]bool{}, MaxVar: 2}
+	v := CNFProxy(f, []db.FactID{1, 2})
+	ratEq(t, v[1], -1, 2, "proxy(¬x1)")
+	ratEq(t, v[2], 1, 2, "proxy(x2)")
+}
+
+var _ = big.NewRat // the ratEq helper lives in shapley_test.go

@@ -1,0 +1,193 @@
+// Package core implements the paper's primary contribution: exact Shapley
+// value computation for database facts from deterministic and decomposable
+// circuits (Algorithm 1, via the #SAT_k dynamic program of Lemma 4.5), the
+// CNF Proxy heuristic (Algorithm 2 / Lemma 5.2), naive ground-truth
+// computation for testing, the end-to-end pipeline of Figure 3, and the
+// hybrid exact-with-timeout strategy of Section 6.3.
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/dnnf"
+)
+
+// ComputeAllSATk computes #SAT_0(C), ..., #SAT_n(C) for the d-DNNF rooted at
+// n, counted over the node's own variable support (Lemma 4.5). The returned
+// slice has length len(n.Vars())+1; entry ℓ is the number of satisfying
+// assignments of Hamming weight ℓ. The computation is a bottom-up dynamic
+// program, linear in the circuit size times the support size squared:
+//
+//   - literal v: [0, 1]; literal ¬v: [1, 0]
+//   - ∧ (decomposable): convolution of the children's count vectors
+//   - ∨ (deterministic): sum of children vectors, each first convolved with
+//     the binomial row of its gap variables (Vars(g) \ Vars(child))
+//
+// Constants have empty support: true ↦ [1], false ↦ [0].
+func ComputeAllSATk(n *dnnf.Node) []*big.Int {
+	memo := make(map[int][]*big.Int)
+	var rec func(*dnnf.Node) []*big.Int
+	rec = func(m *dnnf.Node) []*big.Int {
+		if v, ok := memo[m.ID()]; ok {
+			return v
+		}
+		var v []*big.Int
+		switch m.Kind {
+		case dnnf.KindTrue:
+			v = []*big.Int{big.NewInt(1)}
+		case dnnf.KindFalse:
+			v = []*big.Int{big.NewInt(0)}
+		case dnnf.KindLit:
+			if m.Lit > 0 {
+				v = []*big.Int{big.NewInt(0), big.NewInt(1)}
+			} else {
+				v = []*big.Int{big.NewInt(1), big.NewInt(0)}
+			}
+		case dnnf.KindAnd:
+			v = []*big.Int{big.NewInt(1)}
+			for _, c := range m.Children {
+				v = convolve(v, rec(c))
+			}
+		case dnnf.KindOr:
+			size := len(m.Vars()) + 1
+			v = zeros(size)
+			for _, c := range m.Children {
+				gap := len(m.Vars()) - len(c.Vars())
+				padded := PadToUniverse(rec(c), gap)
+				for i := range padded {
+					v[i].Add(v[i], padded[i])
+				}
+			}
+		}
+		memo[m.ID()] = v
+		return v
+	}
+	return rec(n)
+}
+
+// PadToUniverse extends a #SAT_k vector counted over some support to a
+// universe with `extra` additional unconstrained variables: each additional
+// variable may be freely present or absent, so the vector is convolved with
+// the binomial row C(extra, ·). This implements the circuit-completion step
+// of Algorithm 1 (conjoining with (f' ∨ ¬f') for missing facts f') without
+// materializing the completed circuit.
+func PadToUniverse(counts []*big.Int, extra int) []*big.Int {
+	if extra == 0 {
+		return counts
+	}
+	if extra < 0 {
+		panic("core: negative universe gap")
+	}
+	row := binomialRow(extra)
+	return convolve(counts, row)
+}
+
+// convolve returns the coefficient-wise product of two count vectors:
+// out[ℓ] = Σ_i a[i]·b[ℓ-i]. It corresponds to counting joint assignments of
+// two variable-disjoint parts by total Hamming weight.
+func convolve(a, b []*big.Int) []*big.Int {
+	out := zeros(len(a) + len(b) - 1)
+	var t big.Int
+	for i, ai := range a {
+		if ai.Sign() == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj.Sign() == 0 {
+				continue
+			}
+			t.Mul(ai, bj)
+			out[i+j].Add(out[i+j], &t)
+		}
+	}
+	return out
+}
+
+// binomialRow returns [C(n,0), C(n,1), ..., C(n,n)].
+func binomialRow(n int) []*big.Int {
+	row := make([]*big.Int, n+1)
+	row[0] = big.NewInt(1)
+	for k := 1; k <= n; k++ {
+		// C(n,k) = C(n,k-1) · (n-k+1) / k
+		row[k] = new(big.Int).Mul(row[k-1], big.NewInt(int64(n-k+1)))
+		row[k].Quo(row[k], big.NewInt(int64(k)))
+	}
+	return row
+}
+
+func zeros(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	return out
+}
+
+// FloatSATk is the float64 variant of ComputeAllSATk, used by the ablation
+// benchmark that quantifies the cost of exact big-integer arithmetic. It
+// overflows to +Inf for large circuits and is not used by the exact
+// algorithm.
+func FloatSATk(n *dnnf.Node) []float64 {
+	memo := make(map[int][]float64)
+	var rec func(*dnnf.Node) []float64
+	rec = func(m *dnnf.Node) []float64 {
+		if v, ok := memo[m.ID()]; ok {
+			return v
+		}
+		var v []float64
+		switch m.Kind {
+		case dnnf.KindTrue:
+			v = []float64{1}
+		case dnnf.KindFalse:
+			v = []float64{0}
+		case dnnf.KindLit:
+			if m.Lit > 0 {
+				v = []float64{0, 1}
+			} else {
+				v = []float64{1, 0}
+			}
+		case dnnf.KindAnd:
+			v = []float64{1}
+			for _, c := range m.Children {
+				v = convolveFloat(v, rec(c))
+			}
+		case dnnf.KindOr:
+			v = make([]float64, len(m.Vars())+1)
+			for _, c := range m.Children {
+				gap := len(m.Vars()) - len(c.Vars())
+				padded := rec(c)
+				if gap > 0 {
+					padded = convolveFloat(padded, binomialRowFloat(gap))
+				}
+				for i := range padded {
+					v[i] += padded[i]
+				}
+			}
+		}
+		memo[m.ID()] = v
+		return v
+	}
+	return rec(n)
+}
+
+func convolveFloat(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] += ai * bj
+		}
+	}
+	return out
+}
+
+func binomialRowFloat(n int) []float64 {
+	row := make([]float64, n+1)
+	row[0] = 1
+	for k := 1; k <= n; k++ {
+		row[k] = row[k-1] * float64(n-k+1) / float64(k)
+	}
+	return row
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/dnnf"
+)
+
+// Values maps endogenous fact IDs to their exact Shapley values.
+type Values map[db.FactID]*big.Rat
+
+// Float returns the values as float64s (for metrics and display).
+func (v Values) Float() map[db.FactID]float64 {
+	out := make(map[db.FactID]float64, len(v))
+	for id, r := range v {
+		f, _ := r.Float64()
+		out[id] = f
+	}
+	return out
+}
+
+// Sum returns Σ_f v[f]; by the efficiency axiom it equals
+// q(Dn ∪ Dx) − q(Dx) for a Boolean query game.
+func (v Values) Sum() *big.Rat {
+	s := new(big.Rat)
+	for _, r := range v {
+		s.Add(s, r)
+	}
+	return s
+}
+
+// Ranking returns the fact IDs sorted by decreasing value, ties broken by
+// increasing fact ID for determinism.
+func (v Values) Ranking() []db.FactID {
+	ids := make([]db.FactID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		c := v[ids[i]].Cmp(v[ids[j]])
+		if c != 0 {
+			return c > 0
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// ShapleyCoefficients returns the n coefficients k!·(n−k−1)!/n! for
+// k = 0..n−1 appearing in Equation (2)/(3) of the paper.
+func ShapleyCoefficients(n int) []*big.Rat {
+	coefs := make([]*big.Rat, n)
+	nFact := new(big.Int).MulRange(1, int64(n)) // n!
+	for k := 0; k < n; k++ {
+		kFact := new(big.Int).MulRange(1, int64(k))
+		rFact := new(big.Int).MulRange(1, int64(n-k-1))
+		num := new(big.Int).Mul(kFact, rFact)
+		coefs[k] = new(big.Rat).SetFrac(num, nFact)
+	}
+	return coefs
+}
+
+// ShapleyOfFact implements Algorithm 1 for a single endogenous fact f: given
+// a d-DNNF circuit representing ELin(q, Dx, Dn) whose variables are a subset
+// of the endogenous fact IDs endo, it computes Shapley(q, Dn, Dx, f)
+// exactly. Facts absent from the circuit's support have Shapley value 0
+// (conditioning changes nothing), which realizes the circuit-completion step
+// without building (f' ∨ ¬f') gates.
+func ShapleyOfFact(c *dnnf.Node, endo []db.FactID, f db.FactID) *big.Rat {
+	n := len(endo)
+	if n == 0 {
+		return new(big.Rat)
+	}
+	inSupport := false
+	for _, v := range c.Vars() {
+		if db.FactID(v) == f {
+			inSupport = true
+			break
+		}
+	}
+	if !inSupport {
+		return new(big.Rat)
+	}
+	coefs := ShapleyCoefficients(n)
+	b := dnnf.NewBuilder()
+	gamma := conditionedCounts(b, c, int(f), true, n-1)
+	delta := conditionedCounts(b, c, int(f), false, n-1)
+	return weightedDifference(gamma, delta, coefs)
+}
+
+// ShapleyAll computes the Shapley value of every endogenous fact in endo
+// with respect to the Boolean function represented by the d-DNNF c (the
+// endogenous lineage). Its cost is O(|C|·|Dn|²) per fact appearing in the
+// circuit; facts outside the support are zero by symmetry (they are null
+// players).
+func ShapleyAll(c *dnnf.Node, endo []db.FactID) Values {
+	out := make(Values, len(endo))
+	n := len(endo)
+	if n == 0 {
+		return out
+	}
+	coefs := ShapleyCoefficients(n)
+	support := make(map[db.FactID]bool, len(c.Vars()))
+	for _, v := range c.Vars() {
+		support[db.FactID(v)] = true
+	}
+	b := dnnf.NewBuilder()
+	for _, f := range endo {
+		if !support[f] {
+			out[f] = new(big.Rat)
+			continue
+		}
+		gamma := conditionedCounts(b, c, int(f), true, n-1)
+		delta := conditionedCounts(b, c, int(f), false, n-1)
+		out[f] = weightedDifference(gamma, delta, coefs)
+	}
+	return out
+}
+
+// conditionedCounts computes the #SAT_k vector of C[f→val], padded to a
+// universe of size universe (= |Dn|−1, the endogenous facts minus f).
+func conditionedCounts(b *dnnf.Builder, c *dnnf.Node, f int, val bool, universe int) []*big.Int {
+	cond := dnnf.Condition(b, c, map[int]bool{f: val})
+	counts := ComputeAllSATk(cond)
+	return PadToUniverse(counts, universe-len(cond.Vars()))
+}
+
+// weightedDifference evaluates Σ_k coefs[k]·(Γ[k]−Δ[k]) as an exact
+// rational.
+func weightedDifference(gamma, delta []*big.Int, coefs []*big.Rat) *big.Rat {
+	total := new(big.Rat)
+	var diff big.Int
+	var term big.Rat
+	for k := 0; k < len(coefs); k++ {
+		g := bigAt(gamma, k)
+		d := bigAt(delta, k)
+		diff.Sub(g, d)
+		if diff.Sign() == 0 {
+			continue
+		}
+		term.SetInt(&diff)
+		term.Mul(&term, coefs[k])
+		total.Add(total, &term)
+	}
+	return total
+}
+
+func bigAt(v []*big.Int, k int) *big.Int {
+	if k < len(v) {
+		return v[k]
+	}
+	return new(big.Int)
+}

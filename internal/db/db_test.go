@@ -1,0 +1,179 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{String("abc"), KindString, "abc"},
+		{Float(2.5), KindFloat, "2.5"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind(%v) = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String(%v) = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(2.0), 0},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Int(5), String("a"), -1}, // numbers sort before strings
+		{String("a"), Int(5), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return String(a).Compare(String(b)) == -String(b).Compare(String(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		return (a == b) == (String(a).Key() == String(b).Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b int64) bool {
+		return (a == b) == (Int(a).Key() == Int(b).Key())
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyDistinguishesBoundaries(t *testing.T) {
+	a := Tuple{String("ab"), String("c")}
+	b := Tuple{String("a"), String("bc")}
+	if a.Key() == b.Key() {
+		t.Errorf("tuple keys collide: %q vs %q", a, b)
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	d := New()
+	d.CreateRelation("R", "x", "y")
+	f1 := d.MustInsert("R", true, Int(1), Int(2))
+	f2 := d.MustInsert("R", false, Int(3), Int(4))
+	if f1.ID == f2.ID {
+		t.Fatalf("fact IDs not unique")
+	}
+	if got := d.Fact(f1.ID); got != f1 {
+		t.Errorf("Fact(%d) = %v, want %v", f1.ID, got, f1)
+	}
+	if d.NumFacts() != 2 {
+		t.Errorf("NumFacts = %d, want 2", d.NumFacts())
+	}
+	if n := len(d.EndogenousFacts()); n != 1 {
+		t.Errorf("EndogenousFacts len = %d, want 1", n)
+	}
+	if n := len(d.ExogenousFacts()); n != 1 {
+		t.Errorf("ExogenousFacts len = %d, want 1", n)
+	}
+	if d.NumEndogenous() != 1 {
+		t.Errorf("NumEndogenous = %d, want 1", d.NumEndogenous())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	d := New()
+	d.CreateRelation("R", "x")
+	if _, err := d.Insert("S", true, Int(1)); err == nil {
+		t.Error("insert into unknown relation succeeded")
+	}
+	if _, err := d.Insert("R", true, Int(1), Int(2)); err == nil {
+		t.Error("arity-mismatched insert succeeded")
+	}
+}
+
+func TestCreateRelationDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate CreateRelation did not panic")
+		}
+	}()
+	d := New()
+	d.CreateRelation("R", "x")
+	d.CreateRelation("R", "x")
+}
+
+func TestRestrictPreservesIDs(t *testing.T) {
+	d := New()
+	d.CreateRelation("R", "x")
+	f1 := d.MustInsert("R", true, Int(1))
+	f2 := d.MustInsert("R", true, Int(2))
+	f3 := d.MustInsert("R", false, Int(3))
+
+	sub := d.WithEndogenousSubset(map[FactID]bool{f1.ID: true})
+	if sub.Fact(f1.ID) == nil {
+		t.Error("selected endogenous fact missing from restriction")
+	}
+	if sub.Fact(f2.ID) != nil {
+		t.Error("unselected endogenous fact present in restriction")
+	}
+	if sub.Fact(f3.ID) == nil {
+		t.Error("exogenous fact missing from restriction")
+	}
+	if got := len(sub.Relation("R").Facts); got != 2 {
+		t.Errorf("restricted relation has %d facts, want 2", got)
+	}
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s := Schema{Name: "R", Columns: []string{"a", "b", "c"}}
+	if s.ColumnIndex("b") != 1 {
+		t.Errorf("ColumnIndex(b) = %d, want 1", s.ColumnIndex("b"))
+	}
+	if s.ColumnIndex("z") != -1 {
+		t.Errorf("ColumnIndex(z) = %d, want -1", s.ColumnIndex("z"))
+	}
+	if s.Arity() != 3 {
+		t.Errorf("Arity = %d, want 3", s.Arity())
+	}
+}
+
+func TestRelationNamesOrder(t *testing.T) {
+	d := New()
+	d.CreateRelation("B", "x")
+	d.CreateRelation("A", "x")
+	names := d.RelationNames()
+	if len(names) != 2 || names[0] != "B" || names[1] != "A" {
+		t.Errorf("RelationNames = %v, want [B A]", names)
+	}
+}

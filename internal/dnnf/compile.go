@@ -1,0 +1,413 @@
+package dnnf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Compilation errors. A compilation that exceeds its time or size budget
+// fails with one of these; the hybrid strategy of Section 6.3 falls back to
+// CNF Proxy on such failures, mirroring the paper's out-of-memory and
+// timeout failures of c2d.
+var (
+	ErrTimeout    = errors.New("dnnf: compilation timed out")
+	ErrNodeBudget = errors.New("dnnf: compilation exceeded node budget")
+)
+
+// VarOrder selects the branching-variable heuristic.
+type VarOrder uint8
+
+// Branching heuristics.
+const (
+	// OrderMostFrequent branches on the variable occurring in the most
+	// active clauses (a dynamic degree heuristic, the default).
+	OrderMostFrequent VarOrder = iota
+	// OrderLexicographic branches on the smallest-numbered variable; kept
+	// as an ablation baseline.
+	OrderLexicographic
+)
+
+// Options configures compilation.
+type Options struct {
+	// Timeout bounds wall-clock compilation time; zero means no limit.
+	Timeout time.Duration
+	// MaxNodes bounds the number of d-DNNF nodes allocated; zero means no
+	// limit. This plays the role of c2d running out of memory.
+	MaxNodes int
+	// DisableCache turns off component caching (ablation).
+	DisableCache bool
+	// Order selects the branching heuristic.
+	Order VarOrder
+}
+
+// Stats reports compilation effort.
+type Stats struct {
+	Decisions    int
+	Propagations int
+	CacheHits    int
+	CacheMisses  int
+	Components   int
+	Nodes        int
+	Elapsed      time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("decisions=%d props=%d cacheHits=%d cacheMisses=%d components=%d nodes=%d elapsed=%v",
+		s.Decisions, s.Propagations, s.CacheHits, s.CacheMisses, s.Components, s.Nodes, s.Elapsed)
+}
+
+// compiler carries the mutable compilation state.
+type compiler struct {
+	b        *Builder
+	opts     Options
+	cache    map[string]*Node
+	stats    Stats
+	deadline time.Time
+	steps    int
+}
+
+// Compile translates a CNF formula into an equivalent d-DNNF using
+// exhaustive DPLL with unit propagation, connected-component decomposition
+// (yielding decomposable ∧-gates), Shannon decisions (yielding deterministic
+// ∨-gates), and component caching — the classic construction behind c2d and
+// dsharp.
+func Compile(f *cnf.Formula, opts Options) (*Node, Stats, error) {
+	start := time.Now()
+	c := &compiler{
+		b:     NewBuilder(),
+		opts:  opts,
+		cache: make(map[string]*Node),
+	}
+	if opts.Timeout > 0 {
+		c.deadline = start.Add(opts.Timeout)
+	}
+	clauses := make([]cnf.Clause, 0, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		norm, taut := normalizeClause(cl)
+		if taut {
+			continue
+		}
+		if len(norm) == 0 {
+			return c.b.False(), c.stats, nil
+		}
+		clauses = append(clauses, norm)
+	}
+	root, err := c.compile(clauses)
+	c.stats.Elapsed = time.Since(start)
+	c.stats.Nodes = c.b.NumNodes()
+	if err != nil {
+		return nil, c.stats, err
+	}
+	return root, c.stats, nil
+}
+
+// normalizeClause sorts literals, removes duplicates, and detects
+// tautologies (clauses containing both v and ¬v).
+func normalizeClause(cl cnf.Clause) (cnf.Clause, bool) {
+	out := make(cnf.Clause, len(cl))
+	copy(out, cl)
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].Var(), out[j].Var()
+		if vi != vj {
+			return vi < vj
+		}
+		return out[i] < out[j]
+	})
+	w := 0
+	for i, l := range out {
+		if i > 0 && out[w-1] == l {
+			continue
+		}
+		if i > 0 && out[w-1] == -l {
+			return nil, true
+		}
+		out[w] = l
+		w++
+	}
+	return out[:w], false
+}
+
+func (c *compiler) checkBudget() error {
+	c.steps++
+	if c.steps%64 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return ErrTimeout
+	}
+	if c.opts.MaxNodes > 0 && c.b.NumNodes() > c.opts.MaxNodes {
+		return ErrNodeBudget
+	}
+	return nil
+}
+
+// compile compiles a set of normalized clauses (no duplicates or
+// tautologies) into a d-DNNF node.
+func (c *compiler) compile(clauses []cnf.Clause) (*Node, error) {
+	if err := c.checkBudget(); err != nil {
+		return nil, err
+	}
+
+	// Unit propagation.
+	units, rest, conflict := propagate(clauses)
+	c.stats.Propagations += len(units)
+	if conflict {
+		return c.b.False(), nil
+	}
+	unitNodes := make([]*Node, 0, len(units)+2)
+	for _, l := range units {
+		unitNodes = append(unitNodes, c.b.Lit(int(l)))
+	}
+	if len(rest) == 0 {
+		return c.b.And(unitNodes...), nil
+	}
+
+	// Connected-component decomposition.
+	comps := components(rest)
+	if len(comps) > 1 {
+		c.stats.Components++
+	}
+	parts := unitNodes
+	for _, comp := range comps {
+		node, err := c.compileComponent(comp)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, node)
+	}
+	return c.b.And(parts...), nil
+}
+
+// compileComponent compiles a single connected component, consulting the
+// component cache.
+func (c *compiler) compileComponent(clauses []cnf.Clause) (*Node, error) {
+	var key string
+	if !c.opts.DisableCache {
+		key = cacheKey(clauses)
+		if n, ok := c.cache[key]; ok {
+			c.stats.CacheHits++
+			return n, nil
+		}
+		c.stats.CacheMisses++
+	}
+
+	v := c.pickVar(clauses)
+	c.stats.Decisions++
+
+	hiClauses, hiEmpty := assign(clauses, cnf.Lit(v))
+	var hi *Node
+	var err error
+	if hiEmpty {
+		hi = c.b.False()
+	} else if hi, err = c.compile(hiClauses); err != nil {
+		return nil, err
+	}
+
+	loClauses, loEmpty := assign(clauses, cnf.Lit(-v))
+	var lo *Node
+	if loEmpty {
+		lo = c.b.False()
+	} else if lo, err = c.compile(loClauses); err != nil {
+		return nil, err
+	}
+
+	n := c.b.Decision(v, hi, lo)
+	if !c.opts.DisableCache {
+		c.cache[key] = n
+	}
+	return n, nil
+}
+
+// pickVar selects the branching variable per the configured heuristic.
+func (c *compiler) pickVar(clauses []cnf.Clause) int {
+	switch c.opts.Order {
+	case OrderLexicographic:
+		best := 0
+		for _, cl := range clauses {
+			for _, l := range cl {
+				if v := l.Var(); best == 0 || v < best {
+					best = v
+				}
+			}
+		}
+		return best
+	default:
+		counts := make(map[int]int)
+		for _, cl := range clauses {
+			for _, l := range cl {
+				counts[l.Var()]++
+			}
+		}
+		best, bestCount := 0, -1
+		for v, n := range counts {
+			if n > bestCount || (n == bestCount && v < best) {
+				best, bestCount = v, n
+			}
+		}
+		return best
+	}
+}
+
+// propagate performs exhaustive unit propagation. It returns the implied
+// literals, the residual clauses (each with ≥2 literals, mentioning no
+// assigned variable), and whether a conflict was derived.
+func propagate(clauses []cnf.Clause) (units []cnf.Lit, rest []cnf.Clause, conflict bool) {
+	assignment := make(map[int]bool)
+	work := clauses
+	for {
+		var pending []cnf.Lit
+		for _, cl := range work {
+			if len(cl) == 1 {
+				pending = append(pending, cl[0])
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		for _, l := range pending {
+			v := l.Var()
+			want := l.Positive()
+			if have, ok := assignment[v]; ok {
+				if have != want {
+					return nil, nil, true
+				}
+				continue
+			}
+			assignment[v] = want
+			units = append(units, l)
+		}
+		next := make([]cnf.Clause, 0, len(work))
+		for _, cl := range work {
+			reduced, sat, empty := reduce(cl, assignment)
+			if sat {
+				continue
+			}
+			if empty {
+				return nil, nil, true
+			}
+			next = append(next, reduced)
+		}
+		work = next
+	}
+	return units, work, false
+}
+
+// reduce simplifies a clause under a partial assignment.
+func reduce(cl cnf.Clause, assignment map[int]bool) (out cnf.Clause, sat, empty bool) {
+	keep := cl[:0:0]
+	for _, l := range cl {
+		val, ok := assignment[l.Var()]
+		if !ok {
+			keep = append(keep, l)
+			continue
+		}
+		if val == l.Positive() {
+			return nil, true, false
+		}
+	}
+	if len(keep) == 0 {
+		return nil, false, true
+	}
+	return keep, false, false
+}
+
+// assign simplifies the clauses under a single literal assignment. It
+// returns the residual clauses and whether an empty clause was derived.
+func assign(clauses []cnf.Clause, l cnf.Lit) ([]cnf.Clause, bool) {
+	out := make([]cnf.Clause, 0, len(clauses))
+	for _, cl := range clauses {
+		sat := false
+		removed := false
+		for _, m := range cl {
+			if m == l {
+				sat = true
+				break
+			}
+			if m == -l {
+				removed = true
+			}
+		}
+		if sat {
+			continue
+		}
+		if !removed {
+			out = append(out, cl)
+			continue
+		}
+		keep := make(cnf.Clause, 0, len(cl)-1)
+		for _, m := range cl {
+			if m != -l {
+				keep = append(keep, m)
+			}
+		}
+		if len(keep) == 0 {
+			return nil, true
+		}
+		out = append(out, keep)
+	}
+	return out, false
+}
+
+// components partitions clauses into connected components of the
+// clause-variable incidence graph, using union-find over variables.
+func components(clauses []cnf.Clause) [][]cnf.Clause {
+	parent := make(map[int]int)
+	var find func(int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, cl := range clauses {
+		for i := 1; i < len(cl); i++ {
+			union(cl[0].Var(), cl[i].Var())
+		}
+	}
+	groups := make(map[int][]cnf.Clause)
+	var roots []int
+	for _, cl := range clauses {
+		r := find(cl[0].Var())
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], cl)
+	}
+	sort.Ints(roots)
+	out := make([][]cnf.Clause, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// cacheKey renders a clause set canonically. Clauses are assumed
+// literal-sorted (normalizeClause sorts them and all simplifications
+// preserve relative order).
+func cacheKey(clauses []cnf.Clause) string {
+	strs := make([]string, len(clauses))
+	for i, cl := range clauses {
+		var sb strings.Builder
+		for _, l := range cl {
+			fmt.Fprintf(&sb, "%d ", int(l))
+		}
+		strs[i] = sb.String()
+	}
+	sort.Strings(strs)
+	return strings.Join(strs, ";")
+}

@@ -1,0 +1,433 @@
+// Package dnnf implements deterministic decomposable negation normal form
+// (d-DNNF) circuits, a knowledge compiler from CNF to d-DNNF (the repo's
+// substitute for the c2d compiler used in the paper), model counting, and
+// the Tseytin auxiliary-variable elimination of Lemma 4.6.
+//
+// A d-DNNF is a Boolean circuit whose leaves are literals or constants, in
+// which every ∧-gate is decomposable (its children mention disjoint
+// variables) and every ∨-gate is deterministic (no assignment satisfies two
+// of its children). These two properties make weighted model counting — and
+// the paper's #SAT_k dynamic program — linear in the circuit size.
+package dnnf
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates d-DNNF node kinds.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindLit Kind = iota
+	KindTrue
+	KindFalse
+	KindAnd
+	KindOr
+)
+
+// Node is a node in a d-DNNF DAG. Nodes are immutable and shared; construct
+// them through a Builder.
+type Node struct {
+	Kind     Kind
+	Lit      int // for KindLit: +v or -v
+	Children []*Node
+	// Decision is the Shannon decision variable for ∨-nodes produced by the
+	// compiler (0 when unknown). It witnesses determinism: one child implies
+	// the variable, the other its negation.
+	Decision int
+
+	id   int
+	vars []int // sorted variable support, computed at construction
+}
+
+// ID returns a builder-unique node identifier.
+func (n *Node) ID() int { return n.id }
+
+// Vars returns the sorted variable support of the node. The slice is shared;
+// callers must not modify it.
+func (n *Node) Vars() []int { return n.vars }
+
+// Builder hash-conses d-DNNF nodes.
+type Builder struct {
+	nextID int
+	trueN  *Node
+	falseN *Node
+	lits   map[int]*Node
+	ands   map[string]*Node
+	ors    map[string]*Node
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	b := &Builder{
+		lits: make(map[int]*Node),
+		ands: make(map[string]*Node),
+		ors:  make(map[string]*Node),
+	}
+	b.trueN = &Node{Kind: KindTrue, id: b.fresh()}
+	b.falseN = &Node{Kind: KindFalse, id: b.fresh()}
+	return b
+}
+
+func (b *Builder) fresh() int {
+	b.nextID++
+	return b.nextID
+}
+
+// NumNodes returns the number of nodes allocated so far, used for compile
+// budgets.
+func (b *Builder) NumNodes() int { return b.nextID }
+
+// True returns the constant-true node.
+func (b *Builder) True() *Node { return b.trueN }
+
+// False returns the constant-false node.
+func (b *Builder) False() *Node { return b.falseN }
+
+// Lit returns the leaf for literal l (+v or -v).
+func (b *Builder) Lit(l int) *Node {
+	if l == 0 {
+		panic("dnnf: zero literal")
+	}
+	if n, ok := b.lits[l]; ok {
+		return n
+	}
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	n := &Node{Kind: KindLit, Lit: l, id: b.fresh(), vars: []int{v}}
+	b.lits[l] = n
+	return n
+}
+
+// mergeVars returns the sorted union of children variable supports. It
+// panics if requireDisjoint is set and two children share a variable: such a
+// conjunction would not be decomposable.
+func mergeVars(children []*Node, requireDisjoint bool) []int {
+	total := 0
+	for _, c := range children {
+		total += len(c.vars)
+	}
+	out := make([]int, 0, total)
+	for _, c := range children {
+		out = append(out, c.vars...)
+	}
+	sort.Ints(out)
+	w := 0
+	for i, v := range out {
+		if i > 0 && out[w-1] == v {
+			if requireDisjoint {
+				panic(fmt.Sprintf("dnnf: non-decomposable ∧ over variable %d", v))
+			}
+			continue
+		}
+		out[w] = v
+		w++
+	}
+	return out[:w]
+}
+
+func childKey(children []*Node) string {
+	var sb strings.Builder
+	for _, c := range children {
+		fmt.Fprintf(&sb, "%d,", c.id)
+	}
+	return sb.String()
+}
+
+// And returns the decomposable conjunction of the children. Constant
+// children are folded; it panics if the children's supports overlap.
+func (b *Builder) And(children ...*Node) *Node {
+	kept := make([]*Node, 0, len(children))
+	for _, c := range children {
+		switch c.Kind {
+		case KindTrue:
+			continue
+		case KindFalse:
+			return b.falseN
+		}
+		kept = append(kept, c)
+	}
+	switch len(kept) {
+	case 0:
+		return b.trueN
+	case 1:
+		return kept[0]
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].id < kept[j].id })
+	key := childKey(kept)
+	if n, ok := b.ands[key]; ok {
+		return n
+	}
+	n := &Node{Kind: KindAnd, Children: kept, id: b.fresh(), vars: mergeVars(kept, true)}
+	b.ands[key] = n
+	return n
+}
+
+// Decision returns the deterministic disjunction (v ∧ hi) ∨ (¬v ∧ lo) with
+// the decision variable recorded, folding constant branches.
+func (b *Builder) Decision(v int, hi, lo *Node) *Node {
+	hiBranch := b.And(b.Lit(v), hi)
+	loBranch := b.And(b.Lit(-v), lo)
+	return b.orSlice(v, []*Node{hiBranch, loBranch})
+}
+
+// Or returns a disjunction asserted deterministic by the caller. Use
+// Decision when the children are Shannon branches of a variable.
+func (b *Builder) Or(children ...*Node) *Node {
+	return b.orSlice(0, children)
+}
+
+func (b *Builder) orSlice(decision int, children []*Node) *Node {
+	kept := make([]*Node, 0, len(children))
+	for _, c := range children {
+		switch c.Kind {
+		case KindFalse:
+			continue
+		case KindTrue:
+			// A true child makes the disjunction true; determinism then
+			// forces all siblings to be false, so folding is sound.
+			return b.trueN
+		}
+		kept = append(kept, c)
+	}
+	switch len(kept) {
+	case 0:
+		return b.falseN
+	case 1:
+		return kept[0]
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].id < kept[j].id })
+	key := fmt.Sprintf("%d|%s", decision, childKey(kept))
+	if n, ok := b.ors[key]; ok {
+		return n
+	}
+	n := &Node{Kind: KindOr, Children: kept, Decision: decision, id: b.fresh(),
+		vars: mergeVars(kept, false)}
+	b.ors[key] = n
+	return n
+}
+
+// Size returns the number of distinct nodes reachable from n.
+func Size(n *Node) int {
+	count := 0
+	Visit(n, func(*Node) { count++ })
+	return count
+}
+
+// NumEdges returns the number of child edges reachable from n.
+func NumEdges(n *Node) int {
+	edges := 0
+	Visit(n, func(m *Node) { edges += len(m.Children) })
+	return edges
+}
+
+// Visit walks the DAG rooted at n, children before parents, visiting each
+// node exactly once.
+func Visit(n *Node, f func(*Node)) {
+	seen := make(map[int]bool)
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if seen[m.id] {
+			return
+		}
+		seen[m.id] = true
+		for _, c := range m.Children {
+			rec(c)
+		}
+		f(m)
+	}
+	rec(n)
+}
+
+// Eval evaluates the node under the assignment (absent variables are false).
+func Eval(n *Node, assign map[int]bool) bool {
+	memo := make(map[int]bool)
+	var rec func(*Node) bool
+	rec = func(m *Node) bool {
+		if v, ok := memo[m.id]; ok {
+			return v
+		}
+		var v bool
+		switch m.Kind {
+		case KindTrue:
+			v = true
+		case KindFalse:
+			v = false
+		case KindLit:
+			if m.Lit > 0 {
+				v = assign[m.Lit]
+			} else {
+				v = !assign[-m.Lit]
+			}
+		case KindAnd:
+			v = true
+			for _, c := range m.Children {
+				if !rec(c) {
+					v = false
+					break
+				}
+			}
+		case KindOr:
+			for _, c := range m.Children {
+				if rec(c) {
+					v = true
+					break
+				}
+			}
+		}
+		memo[m.id] = v
+		return v
+	}
+	return rec(n)
+}
+
+// Condition returns the node with every variable in assign fixed to the
+// given constant, rebuilt in builder b. Conditioning preserves determinism
+// and decomposability.
+func Condition(b *Builder, n *Node, assign map[int]bool) *Node {
+	memo := make(map[int]*Node)
+	var rec func(*Node) *Node
+	rec = func(m *Node) *Node {
+		if r, ok := memo[m.id]; ok {
+			return r
+		}
+		var r *Node
+		switch m.Kind {
+		case KindTrue:
+			r = b.True()
+		case KindFalse:
+			r = b.False()
+		case KindLit:
+			v := m.Lit
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			if val, ok := assign[v]; ok {
+				if val != neg {
+					r = b.True()
+				} else {
+					r = b.False()
+				}
+			} else {
+				r = b.Lit(m.Lit)
+			}
+		case KindAnd:
+			cs := make([]*Node, len(m.Children))
+			for i, c := range m.Children {
+				cs[i] = rec(c)
+			}
+			r = b.And(cs...)
+		case KindOr:
+			cs := make([]*Node, len(m.Children))
+			for i, c := range m.Children {
+				cs[i] = rec(c)
+			}
+			r = b.orSlice(m.Decision, cs)
+		}
+		memo[m.id] = r
+		return r
+	}
+	return rec(n)
+}
+
+// CountModels returns the number of satisfying assignments of n over the
+// given variable universe, which must contain Vars(n). It is exact
+// (math/big) and linear in the circuit size.
+func CountModels(n *Node, universe []int) *big.Int {
+	missing := len(universe) - len(n.vars)
+	if missing < 0 {
+		panic("dnnf: universe smaller than node support")
+	}
+	c := countOverSupport(n)
+	return c.Mul(c, new(big.Int).Lsh(big.NewInt(1), uint(missing)))
+}
+
+// countOverSupport counts satisfying assignments over exactly Vars(n).
+func countOverSupport(n *Node) *big.Int {
+	memo := make(map[int]*big.Int)
+	one := big.NewInt(1)
+	var rec func(*Node) *big.Int
+	rec = func(m *Node) *big.Int {
+		if v, ok := memo[m.id]; ok {
+			return v
+		}
+		var v *big.Int
+		switch m.Kind {
+		case KindTrue, KindLit:
+			v = one
+		case KindFalse:
+			v = big.NewInt(0)
+		case KindAnd:
+			v = big.NewInt(1)
+			for _, c := range m.Children {
+				v.Mul(v, rec(c))
+			}
+		case KindOr:
+			v = big.NewInt(0)
+			for _, c := range m.Children {
+				// A child covering fewer variables stands for any value of
+				// the gap variables: scale by 2^gap.
+				gap := uint(len(m.vars) - len(c.vars))
+				t := new(big.Int).Lsh(rec(c), gap)
+				v.Add(v, t)
+			}
+		}
+		memo[m.id] = v
+		return v
+	}
+	return rec(n)
+}
+
+// WMC computes the weighted model count of n with per-variable rational
+// weights: weight(v) for the positive literal and 1-weight(v) for the
+// negative one. Because each variable's two weights sum to 1, variables
+// outside a child's support contribute factor 1 and need no correction; the
+// result is the probability Pr(q, (D,π)) when n represents the lineage of q
+// on the tuple-independent database (D,π).
+func WMC(n *Node, weight func(v int) *big.Rat) *big.Rat {
+	memo := make(map[int]*big.Rat)
+	oneRat := new(big.Rat).SetInt64(1)
+	var rec func(*Node) *big.Rat
+	rec = func(m *Node) *big.Rat {
+		if v, ok := memo[m.id]; ok {
+			return v
+		}
+		var v *big.Rat
+		switch m.Kind {
+		case KindTrue:
+			v = oneRat
+		case KindFalse:
+			v = new(big.Rat)
+		case KindLit:
+			va := m.Lit
+			if va > 0 {
+				v = weight(va)
+			} else {
+				v = new(big.Rat).Sub(oneRat, weight(-va))
+			}
+		case KindAnd:
+			v = new(big.Rat).SetInt64(1)
+			for _, c := range m.Children {
+				v.Mul(v, rec(c))
+			}
+		case KindOr:
+			v = new(big.Rat)
+			for _, c := range m.Children {
+				// Gap variables contribute weight(v) + (1-weight(v)) = 1.
+				// (Contrast with CountModels, where an unconstrained
+				// variable contributes factor 2.)
+				v.Add(v, rec(c))
+			}
+		}
+		memo[m.id] = v
+		return v
+	}
+	return new(big.Rat).Set(rec(n))
+}

@@ -1,0 +1,131 @@
+package dnnf
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// CheckDecomposable verifies that every ∧-gate in the DAG has children with
+// pairwise disjoint variable supports. The Builder enforces this at
+// construction time; the check exists for circuits converted from external
+// representations and for property tests.
+func CheckDecomposable(n *Node) error {
+	var fail error
+	Visit(n, func(m *Node) {
+		if fail != nil || m.Kind != KindAnd {
+			return
+		}
+		seen := make(map[int]bool)
+		for _, c := range m.Children {
+			for _, v := range c.vars {
+				if seen[v] {
+					fail = fmt.Errorf("dnnf: ∧-gate %d not decomposable: variable %d repeats", m.id, v)
+					return
+				}
+				seen[v] = true
+			}
+		}
+	})
+	return fail
+}
+
+// CheckDeterministic verifies, by brute force over all assignments to each
+// ∨-gate's support, that no assignment satisfies two distinct children. It
+// is exponential in the gate support size and intended for tests; it
+// returns an error if any gate has support larger than maxVars.
+func CheckDeterministic(n *Node, maxVars int) error {
+	var fail error
+	Visit(n, func(m *Node) {
+		if fail != nil || m.Kind != KindOr {
+			return
+		}
+		if len(m.vars) > maxVars {
+			fail = fmt.Errorf("dnnf: ∨-gate %d support %d exceeds brute-force limit %d",
+				m.id, len(m.vars), maxVars)
+			return
+		}
+		assign := make(map[int]bool, len(m.vars))
+		for mask := 0; mask < 1<<len(m.vars); mask++ {
+			for i, v := range m.vars {
+				assign[v] = mask&(1<<i) != 0
+			}
+			hits := 0
+			for _, c := range m.Children {
+				if Eval(c, assign) {
+					hits++
+				}
+			}
+			if hits > 1 {
+				fail = fmt.Errorf("dnnf: ∨-gate %d not deterministic: %d children satisfied by %v",
+					m.id, hits, assign)
+				return
+			}
+		}
+	})
+	return fail
+}
+
+// Validate runs both structural checks (brute-force determinism limited to
+// gates with at most maxVars support variables).
+func Validate(n *Node, maxVars int) error {
+	if err := CheckDecomposable(n); err != nil {
+		return err
+	}
+	return CheckDeterministic(n, maxVars)
+}
+
+// FromCircuit converts a Boolean circuit that is already deterministic and
+// decomposable — such as the hand-built circuit of Figure 2 — into a d-DNNF
+// node. Negation gates must apply only to variables (NNF); the function
+// returns an error otherwise. Determinism and decomposability are the
+// caller's claim; use Validate to verify on small inputs.
+func FromCircuit(b *Builder, root *circuit.Node) (*Node, error) {
+	memo := make(map[int]*Node)
+	var rec func(*circuit.Node) (*Node, error)
+	rec = func(m *circuit.Node) (*Node, error) {
+		if r, ok := memo[m.ID()]; ok {
+			return r, nil
+		}
+		var r *Node
+		switch m.Kind {
+		case circuit.KindVar:
+			r = b.Lit(int(m.Var))
+		case circuit.KindConst:
+			if m.Val {
+				r = b.True()
+			} else {
+				r = b.False()
+			}
+		case circuit.KindNot:
+			c := m.Children[0]
+			if c.Kind != circuit.KindVar {
+				return nil, fmt.Errorf("dnnf: negation of non-variable gate (kind %v); circuit is not in NNF", c.Kind)
+			}
+			r = b.Lit(-int(c.Var))
+		case circuit.KindAnd:
+			cs := make([]*Node, len(m.Children))
+			for i, c := range m.Children {
+				cc, err := rec(c)
+				if err != nil {
+					return nil, err
+				}
+				cs[i] = cc
+			}
+			r = b.And(cs...)
+		case circuit.KindOr:
+			cs := make([]*Node, len(m.Children))
+			for i, c := range m.Children {
+				cc, err := rec(c)
+				if err != nil {
+					return nil, err
+				}
+				cs[i] = cc
+			}
+			r = b.Or(cs...)
+		}
+		memo[m.ID()] = r
+		return r, nil
+	}
+	return rec(root)
+}

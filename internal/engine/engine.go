@@ -1,0 +1,319 @@
+// Package engine evaluates SPJU queries (unions of conjunctive queries with
+// filters) over in-memory databases while tracking Boolean provenance: every
+// output tuple is returned together with its lineage circuit in the sense of
+// Imielinski and Lipski. This substitutes for the PostgreSQL + ProvSQL stack
+// of the paper's implementation; downstream stages consume only the lineage
+// circuits, which are the same Boolean functions either way.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// LineageMode selects which facts become provenance variables.
+type LineageMode uint8
+
+// Lineage modes.
+const (
+	// ModeEndogenous builds ELin(q, Dx, Dn) directly: exogenous facts are
+	// fixed to true and only endogenous facts appear as variables. This is
+	// the circuit C' of Figure 3.
+	ModeEndogenous LineageMode = iota
+	// ModeFull builds Lin(q, D): every fact is a variable. Used by the
+	// probabilistic-database reduction, where exogenous facts get
+	// probability 1.
+	ModeFull
+)
+
+// Options configures evaluation.
+type Options struct {
+	Mode LineageMode
+}
+
+// Answer is one output tuple with its lineage.
+type Answer struct {
+	Tuple   db.Tuple
+	Lineage *circuit.Node
+}
+
+// binding is a partial homomorphism from query variables to values, with the
+// conjunction of supporting fact nodes.
+type binding struct {
+	vals map[string]db.Value
+	prov []*circuit.Node
+}
+
+// Eval evaluates the UCQ over the database, building lineage circuits in b.
+// Answers are sorted by tuple for determinism. A Boolean query yields at
+// most one answer with the empty tuple; absence means the query is false on
+// every sub-database (lineage identically false).
+func Eval(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) ([]Answer, error) {
+	groups := make(map[string][]*circuit.Node)
+	tuples := make(map[string]db.Tuple)
+	for i := range q.Disjuncts {
+		if err := evalCQ(d, &q.Disjuncts[i], b, opts, groups, tuples); err != nil {
+			return nil, fmt.Errorf("engine: disjunct %d: %w", i, err)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Answer, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Answer{Tuple: tuples[k], Lineage: b.Or(groups[k]...)})
+	}
+	return out, nil
+}
+
+// EvalBoolean evaluates a Boolean UCQ and returns its lineage circuit
+// (constant false when the query has no derivation).
+func EvalBoolean(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) (*circuit.Node, error) {
+	if !q.IsBoolean() {
+		return nil, fmt.Errorf("engine: query has arity %d, want Boolean", q.Arity())
+	}
+	answers, err := Eval(d, q, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(answers) == 0 {
+		return b.False(), nil
+	}
+	return answers[0].Lineage, nil
+}
+
+func evalCQ(d *db.Database, cq *query.CQ, b *circuit.Builder, opts Options,
+	groups map[string][]*circuit.Node, tuples map[string]db.Tuple) error {
+
+	if err := cq.Validate(); err != nil {
+		return err
+	}
+	for _, a := range cq.Atoms {
+		rel := d.Relation(a.Relation)
+		if rel == nil {
+			return fmt.Errorf("unknown relation %q", a.Relation)
+		}
+		if len(a.Args) != rel.Schema.Arity() {
+			return fmt.Errorf("atom %s: relation has arity %d", a, rel.Schema.Arity())
+		}
+	}
+
+	bindings := []binding{{vals: map[string]db.Value{}}}
+	bound := make(map[string]bool)
+	remainingAtoms := make([]int, len(cq.Atoms))
+	for i := range remainingAtoms {
+		remainingAtoms[i] = i
+	}
+	pendingFilters := make([]query.Filter, len(cq.Filters))
+	copy(pendingFilters, cq.Filters)
+
+	for len(remainingAtoms) > 0 && len(bindings) > 0 {
+		idx := pickAtom(cq, remainingAtoms, bound)
+		atom := cq.Atoms[idx]
+		remainingAtoms = removeInt(remainingAtoms, idx)
+
+		var err error
+		bindings, err = joinAtom(d, atom, bindings, bound, b, opts)
+		if err != nil {
+			return err
+		}
+		for _, v := range atom.Vars() {
+			bound[v] = true
+		}
+		// Apply every filter whose variables are now all bound.
+		pendingFilters, bindings, err = applyFilters(pendingFilters, bindings, bound)
+		if err != nil {
+			return err
+		}
+	}
+	if len(pendingFilters) > 0 && len(bindings) > 0 {
+		return fmt.Errorf("filters %v reference unbound variables", pendingFilters)
+	}
+
+	for _, bd := range bindings {
+		head := make(db.Tuple, len(cq.Head))
+		for i, h := range cq.Head {
+			head[i] = bd.vals[h]
+		}
+		key := head.Key()
+		if _, ok := tuples[key]; !ok {
+			tuples[key] = head
+		}
+		groups[key] = append(groups[key], b.And(bd.prov...))
+	}
+	return nil
+}
+
+// pickAtom greedily selects the next atom to join: the one with the most
+// bound terms (constants count as bound), breaking ties by original order.
+// This keeps intermediate binding sets small on the star-join workloads.
+func pickAtom(cq *query.CQ, remaining []int, bound map[string]bool) int {
+	best, bestScore := remaining[0], -1
+	for _, idx := range remaining {
+		score := 0
+		for _, t := range cq.Atoms[idx].Args {
+			if !t.IsVar() || bound[t.Var] {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = idx, score
+		}
+	}
+	return best
+}
+
+func removeInt(s []int, v int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// joinAtom extends each binding with every fact of the atom's relation
+// consistent with it. It builds a hash index on the atom positions that are
+// constants or already-bound variables (the same positions for every
+// binding, since all bindings at a stage bind the same variable set).
+func joinAtom(d *db.Database, atom query.Atom, bindings []binding,
+	bound map[string]bool, b *circuit.Builder, opts Options) ([]binding, error) {
+
+	rel := d.Relation(atom.Relation)
+	keyPos := make([]int, 0, len(atom.Args))
+	for i, t := range atom.Args {
+		if !t.IsVar() || bound[t.Var] {
+			keyPos = append(keyPos, i)
+		}
+	}
+
+	// Index facts by the key positions.
+	index := make(map[string][]*db.Fact)
+	for _, f := range rel.Facts {
+		index[factKey(f.Tuple, keyPos)] = append(index[factKey(f.Tuple, keyPos)], f)
+	}
+
+	var out []binding
+	for _, bd := range bindings {
+		key, ok := bindingKey(atom, keyPos, bd)
+		if !ok {
+			continue
+		}
+		for _, f := range index[key] {
+			newVals, ok := extend(atom, f, bd, bound)
+			if !ok {
+				continue
+			}
+			prov := make([]*circuit.Node, len(bd.prov), len(bd.prov)+1)
+			copy(prov, bd.prov)
+			prov = append(prov, factNode(b, f, opts))
+			out = append(out, binding{vals: newVals, prov: prov})
+		}
+	}
+	return out, nil
+}
+
+func factNode(b *circuit.Builder, f *db.Fact, opts Options) *circuit.Node {
+	if f.Endogenous || opts.Mode == ModeFull {
+		return b.Variable(circuit.Var(f.ID))
+	}
+	return b.True()
+}
+
+func factKey(t db.Tuple, pos []int) string {
+	sub := make(db.Tuple, len(pos))
+	for i, p := range pos {
+		sub[i] = t[p]
+	}
+	return sub.Key()
+}
+
+// bindingKey computes the lookup key for a binding; ok is false when the
+// binding can never match (unreachable in practice since key positions are
+// bound by construction).
+func bindingKey(atom query.Atom, keyPos []int, bd binding) (string, bool) {
+	sub := make(db.Tuple, len(keyPos))
+	for i, p := range keyPos {
+		t := atom.Args[p]
+		if t.IsVar() {
+			v, ok := bd.vals[t.Var]
+			if !ok {
+				return "", false
+			}
+			sub[i] = v
+		} else {
+			sub[i] = t.Const
+		}
+	}
+	return sub.Key(), true
+}
+
+// extend matches the fact against the atom under the binding, returning the
+// extended variable map. Repeated unbound variables within the atom must
+// agree across positions.
+func extend(atom query.Atom, f *db.Fact, bd binding, bound map[string]bool) (map[string]db.Value, bool) {
+	newVals := make(map[string]db.Value, len(bd.vals)+len(atom.Args))
+	for k, v := range bd.vals {
+		newVals[k] = v
+	}
+	for i, t := range atom.Args {
+		val := f.Tuple[i]
+		if !t.IsVar() {
+			if !t.Const.Equal(val) {
+				return nil, false
+			}
+			continue
+		}
+		if prev, ok := newVals[t.Var]; ok {
+			if !prev.Equal(val) {
+				return nil, false
+			}
+			continue
+		}
+		newVals[t.Var] = val
+	}
+	return newVals, true
+}
+
+// applyFilters evaluates all filters whose variables are bound, dropping
+// failing bindings. It returns the still-pending filters and the surviving
+// bindings.
+func applyFilters(filters []query.Filter, bindings []binding, bound map[string]bool) ([]query.Filter, []binding, error) {
+	var ready, pending []query.Filter
+	for _, f := range filters {
+		ok := bound[f.Left] && (!f.Right.IsVar() || bound[f.Right.Var])
+		if ok {
+			ready = append(ready, f)
+		} else {
+			pending = append(pending, f)
+		}
+	}
+	if len(ready) == 0 {
+		return filters, bindings, nil
+	}
+	kept := bindings[:0]
+	for _, bd := range bindings {
+		pass := true
+		for _, f := range ready {
+			ok, err := f.Eval(bd.vals)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			kept = append(kept, bd)
+		}
+	}
+	return pending, kept, nil
+}

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/flights"
+	"repro/internal/query"
+)
+
+// TestLineageSemantics is the engine's central correctness property: the
+// endogenous lineage circuit, evaluated at a subset E of endogenous facts,
+// must agree with re-running the query over the sub-database Dx ∪ E — for
+// every one of the 2^8 subsets of the running example.
+func TestLineageSemantics(t *testing.T) {
+	d, _ := flights.Build()
+	q := flights.Query()
+	b := circuit.NewBuilder()
+	elin, err := EvalBoolean(d, q, b, Options{Mode: ModeEndogenous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endo := d.EndogenousFacts()
+	for mask := 0; mask < 1<<len(endo); mask++ {
+		subset := make(map[db.FactID]bool)
+		assign := make(map[circuit.Var]bool)
+		for i, f := range endo {
+			in := mask&(1<<i) != 0
+			subset[f.ID] = in
+			assign[circuit.Var(f.ID)] = in
+		}
+		sub := d.WithEndogenousSubset(subset)
+		b2 := circuit.NewBuilder()
+		lin, err := EvalBoolean(sub, q, b2, Options{Mode: ModeEndogenous})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lin.Kind != circuit.KindConst || lin.Val // non-false lineage ⇒ some derivation
+		// A derivation exists iff lineage isn't constant-false; but with
+		// facts fixed in the sub-database the lineage may be a variable
+		// circuit. Evaluate it with everything present.
+		all := make(map[circuit.Var]bool)
+		for _, f := range sub.EndogenousFacts() {
+			all[circuit.Var(f.ID)] = true
+		}
+		want = circuit.Eval(lin, all)
+		if got := circuit.Eval(elin, assign); got != want {
+			t.Fatalf("subset %08b: ELin = %v, direct evaluation = %v", mask, got, want)
+		}
+	}
+}
+
+func TestFlightsExpectedDNF(t *testing.T) {
+	// Example 4.2: ELin(q) ≡ a1 ∨ (a2∧a4) ∨ (a2∧a5) ∨ (a3∧a4) ∨ (a3∧a5) ∨ (a6∧a7).
+	d, fs := flights.Build()
+	b := circuit.NewBuilder()
+	elin, err := EvalBoolean(d, flights.Query(), b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(i int) circuit.Var { return circuit.Var(fs.A[i].ID) }
+	want := b.Or(
+		b.Variable(id(1)),
+		b.And(b.Variable(id(2)), b.Variable(id(4))),
+		b.And(b.Variable(id(2)), b.Variable(id(5))),
+		b.And(b.Variable(id(3)), b.Variable(id(4))),
+		b.And(b.Variable(id(3)), b.Variable(id(5))),
+		b.And(b.Variable(id(6)), b.Variable(id(7))),
+	)
+	// Compare as Boolean functions over a1..a8.
+	assign := make(map[circuit.Var]bool)
+	for mask := 0; mask < 1<<8; mask++ {
+		for i := 1; i <= 8; i++ {
+			assign[id(i)] = mask&(1<<(i-1)) != 0
+		}
+		if circuit.Eval(elin, assign) != circuit.Eval(want, assign) {
+			t.Fatalf("lineage differs from Example 4.2 DNF at %v\ngot: %s", assign, circuit.String(elin))
+		}
+	}
+}
+
+func TestModeFullKeepsExogenousVariables(t *testing.T) {
+	d, _ := flights.Build()
+	b := circuit.NewBuilder()
+	lin, err := EvalBoolean(d, flights.DirectQuery(), b, Options{Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := circuit.Vars(lin)
+	// q1's only derivation is a1 ∧ b1 ∧ b8: three variables in full mode.
+	if len(vars) != 3 {
+		t.Fatalf("full lineage has %d variables, want 3 (a1, b1, b8): %s", len(vars), circuit.String(lin))
+	}
+	b2 := circuit.NewBuilder()
+	elin, err := EvalBoolean(d, flights.DirectQuery(), b2, Options{Mode: ModeEndogenous})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circuit.Vars(elin)) != 1 {
+		t.Fatalf("endogenous lineage has %d variables, want 1: %s",
+			len(circuit.Vars(elin)), circuit.String(elin))
+	}
+}
+
+func TestNonBooleanProjection(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("R", "x", "y")
+	f1 := d.MustInsert("R", true, db.Int(1), db.Int(10))
+	f2 := d.MustInsert("R", true, db.Int(1), db.Int(20))
+	f3 := d.MustInsert("R", true, db.Int(2), db.Int(30))
+
+	q := query.MustParse(`q(x) :- R(x, y)`)
+	b := circuit.NewBuilder()
+	answers, err := Eval(d, q, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("got %d answers, want 2", len(answers))
+	}
+	// Answer x=1 has lineage f1 ∨ f2; answer x=2 has lineage f3.
+	a1 := answers[0]
+	if !a1.Tuple.Equal(db.Tuple{db.Int(1)}) {
+		t.Fatalf("first answer = %v, want (1)", a1.Tuple)
+	}
+	ev := func(n *circuit.Node, on ...db.FactID) bool {
+		m := map[circuit.Var]bool{}
+		for _, id := range on {
+			m[circuit.Var(id)] = true
+		}
+		return circuit.Eval(n, m)
+	}
+	if !ev(a1.Lineage, f1.ID) || !ev(a1.Lineage, f2.ID) || ev(a1.Lineage) {
+		t.Errorf("lineage of (1) wrong: %s", circuit.String(a1.Lineage))
+	}
+	if !ev(answers[1].Lineage, f3.ID) || ev(answers[1].Lineage, f1.ID, f2.ID) {
+		t.Errorf("lineage of (2) wrong: %s", circuit.String(answers[1].Lineage))
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	// Paths of length 2 in a tiny graph; E appears twice (self-join).
+	d := db.New()
+	d.CreateRelation("E", "src", "dst")
+	e12 := d.MustInsert("E", true, db.Int(1), db.Int(2))
+	e23 := d.MustInsert("E", true, db.Int(2), db.Int(3))
+	d.MustInsert("E", true, db.Int(3), db.Int(1))
+
+	q := query.MustParse(`q(x, z) :- E(x, y), E(y, z)`)
+	b := circuit.NewBuilder()
+	answers, err := Eval(d, q, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("got %d answers, want 3 (each 2-path)", len(answers))
+	}
+	// The path 1→2→3 must depend on exactly e12 and e23.
+	var found bool
+	for _, a := range answers {
+		if a.Tuple.Equal(db.Tuple{db.Int(1), db.Int(3)}) {
+			found = true
+			vars := circuit.Vars(a.Lineage)
+			if len(vars) != 2 || vars[0] != circuit.Var(e12.ID) || vars[1] != circuit.Var(e23.ID) {
+				t.Errorf("lineage of (1,3) uses %v, want {%d, %d}", vars, e12.ID, e23.ID)
+			}
+		}
+	}
+	if !found {
+		t.Error("answer (1,3) missing")
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("E", "src", "dst")
+	d.MustInsert("E", true, db.Int(1), db.Int(1))
+	d.MustInsert("E", true, db.Int(1), db.Int(2))
+
+	q := query.MustParse(`q(x) :- E(x, x)`)
+	b := circuit.NewBuilder()
+	answers, err := Eval(d, q, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || !answers[0].Tuple.Equal(db.Tuple{db.Int(1)}) {
+		t.Fatalf("self-loop query returned %v, want [(1)]", answers)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("P", "name", "price")
+	cheap := d.MustInsert("P", true, db.String("pen"), db.Int(2))
+	d.MustInsert("P", true, db.String("car"), db.Int(9000))
+
+	q := query.MustParse(`q(n) :- P(n, p), p < 100`)
+	b := circuit.NewBuilder()
+	answers, err := Eval(d, q, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || !answers[0].Tuple.Equal(db.Tuple{db.String("pen")}) {
+		t.Fatalf("filter query returned %v, want [(pen)]", answers)
+	}
+	if vars := circuit.Vars(answers[0].Lineage); len(vars) != 1 || vars[0] != circuit.Var(cheap.ID) {
+		t.Errorf("lineage = %v", vars)
+	}
+}
+
+func TestVarToVarFilter(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("R", "a", "b")
+	d.MustInsert("R", true, db.Int(1), db.Int(2))
+	d.MustInsert("R", true, db.Int(5), db.Int(3))
+
+	q := query.MustParse(`q(x) :- R(x, y), x < y`)
+	b := circuit.NewBuilder()
+	answers, err := Eval(d, q, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || !answers[0].Tuple.Equal(db.Tuple{db.Int(1)}) {
+		t.Fatalf("got %v, want [(1)]", answers)
+	}
+}
+
+func TestStringFilters(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("C", "name")
+	d.MustInsert("C", true, db.String("Acme Inc"))
+	d.MustInsert("C", true, db.String("Bolt Ltd"))
+
+	q := query.MustParse(`q(n) :- C(n), n ~ 'Inc'`)
+	b := circuit.NewBuilder()
+	answers, err := Eval(d, q, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0].Tuple[0].AsString() != "Acme Inc" {
+		t.Fatalf("contains filter returned %v", answers)
+	}
+
+	q2 := query.MustParse(`q(n) :- C(n), n ^ 'Bolt'`)
+	answers, err = Eval(d, q2, circuit.NewBuilder(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0].Tuple[0].AsString() != "Bolt Ltd" {
+		t.Fatalf("prefix filter returned %v", answers)
+	}
+}
+
+func TestUnionMergesLineage(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("R", "x")
+	d.CreateRelation("S", "x")
+	fr := d.MustInsert("R", true, db.Int(1))
+	fs := d.MustInsert("S", true, db.Int(1))
+
+	q := query.MustParse(`
+		q(x) :- R(x)
+		q(x) :- S(x)
+	`)
+	b := circuit.NewBuilder()
+	answers, err := Eval(d, q, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("got %d answers, want 1 (deduplicated)", len(answers))
+	}
+	l := answers[0].Lineage
+	ev := func(on ...db.FactID) bool {
+		m := map[circuit.Var]bool{}
+		for _, id := range on {
+			m[circuit.Var(id)] = true
+		}
+		return circuit.Eval(l, m)
+	}
+	if !ev(fr.ID) || !ev(fs.ID) || ev() {
+		t.Errorf("union lineage wrong: %s", circuit.String(l))
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("R", "x")
+	b := circuit.NewBuilder()
+	if _, err := Eval(d, query.MustParse(`q(x) :- Nope(x)`), b, Options{}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := Eval(d, query.MustParse(`q(x) :- R(x, y)`), b, Options{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := EvalBoolean(d, query.MustParse(`q(x) :- R(x)`), b, Options{}); err == nil {
+		t.Error("EvalBoolean accepted non-Boolean query")
+	}
+}
+
+func TestBooleanFalseLineage(t *testing.T) {
+	d := db.New()
+	d.CreateRelation("R", "x")
+	b := circuit.NewBuilder()
+	lin, err := EvalBoolean(d, query.MustParse(`q() :- R(5)`), b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin != b.False() {
+		t.Errorf("empty-derivation Boolean lineage = %s, want ⊥", circuit.String(lin))
+	}
+}

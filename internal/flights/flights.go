@@ -1,0 +1,71 @@
+// Package flights builds the paper's running example (Figure 1): a database
+// of flights (endogenous) and airports (exogenous) and the Boolean UCQ
+// asking for routes from the USA to France with at most one connection. The
+// paper works out the exact Shapley values for this instance, so it anchors
+// the test suite:
+//
+//	Shapley(q, a1)          = 43/105
+//	Shapley(q, a2..a5)      = 23/210
+//	Shapley(q, a6, a7)      = 8/105
+//	Shapley(q, a8)          = 0
+package flights
+
+import (
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Facts gives named access to the example's endogenous facts a1..a8.
+type Facts struct {
+	A [9]*db.Fact // A[1]..A[8]; A[0] unused
+}
+
+// Build returns the Figure 1 database and its endogenous flight facts.
+func Build() (*db.Database, *Facts) {
+	d := db.New()
+	d.CreateRelation("Flights", "src", "dst")
+	d.CreateRelation("Airports", "name", "country")
+
+	var fs Facts
+	flights := [][2]string{
+		1: {"JFK", "CDG"},
+		2: {"EWR", "LHR"},
+		3: {"BOS", "LHR"},
+		4: {"LHR", "CDG"},
+		5: {"LHR", "ORY"},
+		6: {"LAX", "MUC"},
+		7: {"MUC", "ORY"},
+		8: {"LHR", "MUC"},
+	}
+	for i := 1; i <= 8; i++ {
+		fs.A[i] = d.MustInsert("Flights", true,
+			db.String(flights[i][0]), db.String(flights[i][1]))
+	}
+	airports := [][2]string{
+		{"JFK", "USA"}, {"EWR", "USA"}, {"BOS", "USA"}, {"LAX", "USA"},
+		{"LHR", "EN"}, {"MUC", "GR"}, {"ORY", "FR"}, {"CDG", "FR"},
+	}
+	for _, a := range airports {
+		d.MustInsert("Airports", false, db.String(a[0]), db.String(a[1]))
+	}
+	return d, &fs
+}
+
+// Query returns the Boolean UCQ q = q1 ∨ q2 of Figure 1c: a direct flight
+// from a USA airport to a French airport, or a route with one connection.
+func Query() *query.UCQ {
+	return query.MustParse(`
+		q() :- Airports(x, 'USA'), Airports(y, 'FR'), Flights(x, y)
+		q() :- Airports(x, 'USA'), Airports(z, 'FR'), Flights(x, y), Flights(y, z)
+	`)
+}
+
+// DirectQuery returns q1 alone (one direct flight).
+func DirectQuery() *query.UCQ {
+	return query.MustParse(`q() :- Airports(x, 'USA'), Airports(y, 'FR'), Flights(x, y)`)
+}
+
+// OneStopQuery returns q2 alone (exactly one connection).
+func OneStopQuery() *query.UCQ {
+	return query.MustParse(`q() :- Airports(x, 'USA'), Airports(z, 'FR'), Flights(x, y), Flights(y, z)`)
+}

@@ -1,0 +1,53 @@
+package flights
+
+import (
+	"testing"
+
+	"repro/internal/db"
+)
+
+func TestBuildStructure(t *testing.T) {
+	d, fs := Build()
+	if got := len(d.Relation("Flights").Facts); got != 8 {
+		t.Errorf("flights = %d, want 8", got)
+	}
+	if got := len(d.Relation("Airports").Facts); got != 8 {
+		t.Errorf("airports = %d, want 8", got)
+	}
+	if d.NumEndogenous() != 8 {
+		t.Errorf("endogenous = %d, want 8 (all flights)", d.NumEndogenous())
+	}
+	for i := 1; i <= 8; i++ {
+		if fs.A[i] == nil || !fs.A[i].Endogenous {
+			t.Fatalf("a%d missing or exogenous", i)
+		}
+	}
+	// a1 is the direct JFK→CDG flight.
+	if !fs.A[1].Tuple.Equal(db.Tuple{db.String("JFK"), db.String("CDG")}) {
+		t.Errorf("a1 = %v, want (JFK, CDG)", fs.A[1].Tuple)
+	}
+	for _, f := range d.Relation("Airports").Facts {
+		if f.Endogenous {
+			t.Fatalf("airport fact %v marked endogenous", f)
+		}
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	if got := len(Query().Disjuncts); got != 2 {
+		t.Errorf("q has %d disjuncts, want 2", got)
+	}
+	if !Query().IsBoolean() {
+		t.Error("q should be Boolean")
+	}
+	if got := len(DirectQuery().Disjuncts); got != 1 {
+		t.Errorf("q1 has %d disjuncts, want 1", got)
+	}
+	if got := len(OneStopQuery().Disjuncts[0].Atoms); got != 4 {
+		t.Errorf("q2 has %d atoms, want 4", got)
+	}
+	// q2 is the classic non-hierarchical pattern.
+	if OneStopQuery().Disjuncts[0].IsHierarchical() {
+		t.Error("q2 should be non-hierarchical")
+	}
+}

@@ -1,0 +1,139 @@
+package imdb
+
+import (
+	"repro/internal/query"
+)
+
+// BenchQuery is one entry of the IMDB benchmark suite.
+type BenchQuery struct {
+	Name string
+	Q    *query.UCQ
+}
+
+// Queries returns the IMDB suite modelled on the nine JOB-derived rows of
+// Table 1 (1a, 6b, 7c, 8d, 11a, 11d, 13c, 15d, 16a). Each query ends with a
+// projection over a join attribute, so one output tuple aggregates many join
+// witnesses — the paper's device for making provenance challenging.
+func Queries() []BenchQuery {
+	return []BenchQuery{
+		{
+			// 1a-style: production companies of recent movies, projected on
+			// company.
+			Name: "1a",
+			Q: query.MustParse(`
+				q(cn) :- company_name(cid, cn, cc),
+				         movie_companies(mid, cid, ctid, note),
+				         company_type(ctid, 'production companies'),
+				         title(mid, tt, kid, yr),
+				         yr > 2000
+			`),
+		},
+		{
+			// 6b-style: movies with a marvel keyword and their cast,
+			// projected on person.
+			Name: "6b",
+			Q: query.MustParse(`
+				q(pn) :- name(pid, pn, g),
+				         cast_info(pid, mid, rid, nr),
+				         movie_keyword(mid, kwid),
+				         keyword(kwid, kw),
+				         title(mid, tt, kid, yr),
+				         kw ~ 'marvel'
+			`),
+		},
+		{
+			// 7c-style: people cast in co-produced US movies with a
+			// based-on-novel-ish keyword, projected on person.
+			Name: "7c",
+			Q: query.MustParse(`
+				q(pn) :- name(pid, pn, g),
+				         cast_info(pid, mid, rid, nr),
+				         title(mid, tt, kid, yr),
+				         movie_companies(mid, cid, ctid, note),
+				         company_name(cid, cn, '[us]'),
+				         movie_keyword(mid, kwid),
+				         keyword(kwid, kw),
+				         yr > 1980
+			`),
+		},
+		{
+			// 8d-style: actresses in movies of any company, projected on
+			// person (large output, many witnesses per person).
+			Name: "8d",
+			Q: query.MustParse(`
+				q(pn) :- name(pid, pn, 'f'),
+				         cast_info(pid, mid, rid, nr),
+				         role_type(rid, 'actress'),
+				         movie_companies(mid, cid, ctid, note),
+				         title(mid, tt, kid, yr)
+			`),
+		},
+		{
+			// 11a-style: distributed movies with a sequel-like keyword,
+			// projected on company.
+			Name: "11a",
+			Q: query.MustParse(`
+				q(cn) :- company_name(cid, cn, cc),
+				         movie_companies(mid, cid, ctid, note),
+				         company_type(ctid, 'distributors'),
+				         movie_keyword(mid, kwid),
+				         keyword(kwid, 'sequel'),
+				         title(mid, tt, kid, yr),
+				         yr > 1970
+			`),
+		},
+		{
+			// 11d-style: like 11a without the year filter and any keyword,
+			// projected on company (heavier fan-out).
+			Name: "11d",
+			Q: query.MustParse(`
+				q(cn) :- company_name(cid, cn, cc),
+				         movie_companies(mid, cid, ctid, note),
+				         company_type(ctid, 'distributors'),
+				         movie_keyword(mid, kwid),
+				         keyword(kwid, kw),
+				         title(mid, tt, kid, yr)
+			`),
+		},
+		{
+			// 13c-style: rated US movies and their distributors, projected
+			// on company.
+			Name: "13c",
+			Q: query.MustParse(`
+				q(cn) :- company_name(cid, cn, '[us]'),
+				         movie_companies(mid, cid, ctid, note),
+				         movie_info(mid, itid, inf),
+				         info_type(itid, 'rating'),
+				         title(mid, tt, kid, yr),
+				         kind_type(kid, 'movie')
+			`),
+		},
+		{
+			// 15d-style: genre'd movies with cast and keywords, projected
+			// on genre (few output tuples, very wide provenance).
+			Name: "15d",
+			Q: query.MustParse(`
+				q(inf) :- movie_info(mid, itid, inf),
+				          info_type(itid, 'genres'),
+				          cast_info(pid, mid, rid, nr),
+				          name(pid, pn, g),
+				          movie_keyword(mid, kwid),
+				          title(mid, tt, kid, yr),
+				          yr > 1960
+			`),
+		},
+		{
+			// 16a-style: people in keyword'd company movies, projected on
+			// keyword.
+			Name: "16a",
+			Q: query.MustParse(`
+				q(kw) :- keyword(kwid, kw),
+				         movie_keyword(mid, kwid),
+				         cast_info(pid, mid, rid, nr),
+				         name(pid, pn, g),
+				         movie_companies(mid, cid, ctid, note),
+				         title(mid, tt, kid, yr)
+			`),
+		},
+	}
+}

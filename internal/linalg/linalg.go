@@ -1,0 +1,177 @@
+// Package linalg provides the small dense linear-algebra kernels the
+// repository needs: float64 Gaussian elimination with partial pivoting,
+// weighted least squares via the normal equations (for Kernel SHAP), and
+// exact rational Gaussian elimination (for the Vandermonde system in the
+// Shapley-to-PQE reduction of Proposition 3.1).
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/big"
+)
+
+// ErrSingular is returned when a system has no unique solution.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves the n×n system A·x = b in place-safe fashion (A and b are
+// copied) using Gaussian elimination with partial pivoting.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	m := make([][]float64, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, errors.New("linalg: matrix not square")
+		}
+		m[i] = append([]float64{}, a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivoting.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// WeightedLeastSquares solves min_β Σ_i w_i (x_i·β − y_i)² via the normal
+// equations (XᵀWX)β = XᵀWy. X is row-major with one row per sample. A tiny
+// ridge term stabilizes the system when samples do not span the feature
+// space, which happens for small sampling budgets in Kernel SHAP.
+func WeightedLeastSquares(x [][]float64, y, w []float64, ridge float64) ([]float64, error) {
+	nSamples := len(x)
+	if nSamples == 0 || len(y) != nSamples || len(w) != nSamples {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	nFeat := len(x[0])
+	xtwx := make([][]float64, nFeat)
+	for i := range xtwx {
+		xtwx[i] = make([]float64, nFeat)
+	}
+	xtwy := make([]float64, nFeat)
+	for s := 0; s < nSamples; s++ {
+		if len(x[s]) != nFeat {
+			return nil, errors.New("linalg: ragged design matrix")
+		}
+		ws := w[s]
+		for i := 0; i < nFeat; i++ {
+			xi := x[s][i]
+			if xi == 0 {
+				continue
+			}
+			wxi := ws * xi
+			for j := i; j < nFeat; j++ {
+				xtwx[i][j] += wxi * x[s][j]
+			}
+			xtwy[i] += wxi * y[s]
+		}
+	}
+	for i := 0; i < nFeat; i++ {
+		xtwx[i][i] += ridge
+		for j := 0; j < i; j++ {
+			xtwx[i][j] = xtwx[j][i]
+		}
+	}
+	return Solve(xtwx, xtwy)
+}
+
+// SolveRat solves the n×n rational system A·x = b exactly by fraction-free
+// Gaussian elimination over big.Rat. It is used to invert the Vandermonde
+// system of Proposition 3.1, where floating point would destroy the exact
+// #Slices counts.
+func SolveRat(a [][]*big.Rat, b []*big.Rat) ([]*big.Rat, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	m := make([][]*big.Rat, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, errors.New("linalg: matrix not square")
+		}
+		m[i] = make([]*big.Rat, n+1)
+		for j, v := range a[i] {
+			m[i][j] = new(big.Rat).Set(v)
+		}
+		m[i][n] = new(big.Rat).Set(b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col].Sign() != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := new(big.Rat).Inv(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if m[r][col].Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Mul(m[r][col], inv)
+			var t big.Rat
+			for c := col; c <= n; c++ {
+				t.Mul(factor, m[col][c])
+				m[r][c].Sub(m[r][c], &t)
+			}
+		}
+	}
+	x := make([]*big.Rat, n)
+	var t big.Rat
+	for i := n - 1; i >= 0; i-- {
+		sum := new(big.Rat).Set(m[i][n])
+		for j := i + 1; j < n; j++ {
+			t.Mul(m[i][j], x[j])
+			sum.Sub(sum, &t)
+		}
+		x[i] = sum.Quo(sum, m[i][i])
+	}
+	return x, nil
+}
+
+// VandermondeRat builds the (n+1)×(n+1) Vandermonde matrix with rows
+// [1, z_r, z_r², ..., z_rⁿ] for the given distinct evaluation points.
+func VandermondeRat(zs []*big.Rat) [][]*big.Rat {
+	n := len(zs)
+	m := make([][]*big.Rat, n)
+	for r, z := range zs {
+		m[r] = make([]*big.Rat, n)
+		m[r][0] = big.NewRat(1, 1)
+		for c := 1; c < n; c++ {
+			m[r][c] = new(big.Rat).Mul(m[r][c-1], z)
+		}
+	}
+	return m
+}

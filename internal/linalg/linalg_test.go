@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched b accepted")
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant → well-conditioned
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range xTrue {
+				b[i] += a[i][j] * xTrue[j]
+			}
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestWeightedLeastSquaresExactFit(t *testing.T) {
+	// y = 2 + 3·x exactly: WLS must recover the coefficients.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	w := []float64{1, 1, 2, 1}
+	beta, err := WeightedLeastSquares(x, y, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-9 || math.Abs(beta[1]-3) > 1e-9 {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestWeightedLeastSquaresWeighting(t *testing.T) {
+	// Two contradictory samples for a single coefficient; the weighted
+	// solution is the weighted mean.
+	x := [][]float64{{1}, {1}}
+	y := []float64{0, 1}
+	w := []float64{3, 1}
+	beta, err := WeightedLeastSquares(x, y, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-0.25) > 1e-9 {
+		t.Errorf("beta = %v, want [0.25]", beta)
+	}
+}
+
+func TestSolveRatExact(t *testing.T) {
+	a := [][]*big.Rat{
+		{big.NewRat(1, 1), big.NewRat(1, 2)},
+		{big.NewRat(1, 3), big.NewRat(1, 4)},
+	}
+	// x = (1, 2): b = (1+1, 1/3+1/2) = (2, 5/6).
+	b := []*big.Rat{big.NewRat(2, 1), big.NewRat(5, 6)}
+	x, err := SolveRat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(big.NewRat(1, 1)) != 0 || x[1].Cmp(big.NewRat(2, 1)) != 0 {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestSolveRatSingular(t *testing.T) {
+	a := [][]*big.Rat{
+		{big.NewRat(1, 1), big.NewRat(2, 1)},
+		{big.NewRat(2, 1), big.NewRat(4, 1)},
+	}
+	if _, err := SolveRat(a, []*big.Rat{big.NewRat(1, 1), big.NewRat(2, 1)}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestVandermondeSolveRecoversPolynomial(t *testing.T) {
+	// p(z) = 3 + 2z + z²; evaluate at z = 1, 2, 3 and recover coefficients.
+	zs := []*big.Rat{big.NewRat(1, 1), big.NewRat(2, 1), big.NewRat(3, 1)}
+	vm := VandermondeRat(zs)
+	want := []*big.Rat{big.NewRat(3, 1), big.NewRat(2, 1), big.NewRat(1, 1)}
+	b := make([]*big.Rat, 3)
+	for r, z := range zs {
+		v := new(big.Rat)
+		pow := big.NewRat(1, 1)
+		for _, c := range want {
+			term := new(big.Rat).Mul(c, pow)
+			v.Add(v, term)
+			pow = new(big.Rat).Mul(pow, z)
+		}
+		b[r] = v
+	}
+	x, err := SolveRat(vm, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if x[i].Cmp(want[i]) != 0 {
+			t.Errorf("coef[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package metrics implements the evaluation metrics of Section 6.2: nDCG
+// (and nDCG@k), Precision@k, L1/L2 distances between value vectors, plus the
+// percentile summaries used in Table 1.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/db"
+)
+
+// NDCG computes the normalized discounted cumulative gain of the predicted
+// ranking against ground-truth relevance scores. The predicted ranking is
+// scored by the true relevance of the items it placed at each position; the
+// ideal ranking orders items by true relevance. Negative relevances are
+// shifted to zero (standard practice; Shapley values of monotone lineage
+// are non-negative anyway). Returns 1 for degenerate (all-zero) truths.
+func NDCG(predicted []db.FactID, truth map[db.FactID]float64) float64 {
+	return NDCGAt(predicted, truth, len(predicted))
+}
+
+// NDCGAt is NDCG truncated to the top k positions.
+func NDCGAt(predicted []db.FactID, truth map[db.FactID]float64, k int) float64 {
+	if k > len(predicted) {
+		k = len(predicted)
+	}
+	rel := make([]float64, 0, len(truth))
+	min := 0.0
+	for _, v := range truth {
+		if v < min {
+			min = v
+		}
+	}
+	for _, v := range truth {
+		rel = append(rel, v-min)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(rel)))
+
+	dcg := 0.0
+	for i := 0; i < k; i++ {
+		g := truth[predicted[i]] - min
+		dcg += g / math.Log2(float64(i)+2)
+	}
+	idcg := 0.0
+	for i := 0; i < k && i < len(rel); i++ {
+		idcg += rel[i] / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 1
+	}
+	return dcg / idcg
+}
+
+// PrecisionAt computes |top-k(predicted) ∩ top-k(ideal)| / k, where the
+// ideal top-k is derived from the ground-truth scores (ties broken by fact
+// ID, matching the deterministic ranking convention used throughout).
+func PrecisionAt(predicted []db.FactID, truth map[db.FactID]float64, k int) float64 {
+	ideal := RankByScore(truth)
+	if k > len(predicted) {
+		k = len(predicted)
+	}
+	if k > len(ideal) {
+		k = len(ideal)
+	}
+	if k == 0 {
+		return 1
+	}
+	top := make(map[db.FactID]bool, k)
+	for _, id := range ideal[:k] {
+		top[id] = true
+	}
+	hits := 0
+	for _, id := range predicted[:k] {
+		if top[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RankByScore returns fact IDs by decreasing score, ties broken by ID.
+func RankByScore(scores map[db.FactID]float64) []db.FactID {
+	ids := make([]db.FactID, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if scores[ids[i]] != scores[ids[j]] {
+			return scores[ids[i]] > scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// L1 returns the mean absolute error between approximate and exact scores,
+// over the keys of exact.
+func L1(approx, exact map[db.FactID]float64) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for id, e := range exact {
+		sum += math.Abs(approx[id] - e)
+	}
+	return sum / float64(len(exact))
+}
+
+// L2 returns the mean squared error between approximate and exact scores.
+func L2(approx, exact map[db.FactID]float64) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for id, e := range exact {
+		d := approx[id] - e
+		sum += d * d
+	}
+	return sum / float64(len(exact))
+}
+
+// KendallTau returns the Kendall rank correlation between two score maps
+// over the keys of the first (−1 .. 1, 1 = identical order). Pairs tied in
+// either map are skipped.
+func KendallTau(a, b map[db.FactID]float64) float64 {
+	ids := make([]db.FactID, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	concordant, discordant := 0, 0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			da := a[ids[i]] - a[ids[j]]
+			dbv := b[ids[i]] - b[ids[j]]
+			switch {
+			case da*dbv > 0:
+				concordant++
+			case da*dbv < 0:
+				discordant++
+			}
+		}
+	}
+	total := concordant + discordant
+	if total == 0 {
+		return 1
+	}
+	return float64(concordant-discordant) / float64(total)
+}
+
+// Summary holds the distribution statistics reported per query in Table 1.
+type Summary struct {
+	Mean, P25, P50, P75, P99 float64
+}
+
+// Summarize computes mean and percentiles of a sample (nearest-rank
+// percentiles on the sorted data). An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		Mean: sum / float64(len(sorted)),
+		P25:  percentile(sorted, 0.25),
+		P50:  percentile(sorted, 0.50),
+		P75:  percentile(sorted, 0.75),
+		P99:  percentile(sorted, 0.99),
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Durations converts a slice of time.Duration to seconds for Summarize.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Median returns the nearest-rank median of the sample.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	return percentile(sorted, 0.50)
+}
+
+// Mean returns the arithmetic mean of the sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,179 @@
+// Package pqe implements probabilistic query evaluation over
+// tuple-independent databases (TIDs) and the paper's Proposition 3.1: a
+// polynomial-time Turing reduction from Shapley value computation to PQE.
+//
+// The reduction calls a PQE oracle on n+1 TIDs whose endogenous facts all
+// carry probability z/(1+z) for distinct values z, observes that
+//
+//	(1+z)^n · Pr(q, (D_z, π_z)) = Σ_i z^i · #Slices(q, Dx, Dn, i),
+//
+// and recovers the #Slices counts exactly by solving the resulting
+// Vandermonde system over the rationals. Shapley values then follow from
+// Equation (2). The PQE oracle itself is implemented by weighted model
+// counting over a compiled d-DNNF of the full lineage Lin(q, D).
+package pqe
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/dnnf"
+	"repro/internal/engine"
+	"repro/internal/linalg"
+	"repro/internal/query"
+)
+
+// Oracle answers PQE queries Pr(q, (D, π)) for one fixed Boolean query and
+// database, for arbitrary fact probability assignments π. It compiles the
+// full lineage Lin(q, D) once; each probability query is then a linear-time
+// weighted model count.
+type Oracle struct {
+	db       *db.Database
+	dnnf     *dnnf.Node
+	numCalls int
+}
+
+// NewOracle evaluates the Boolean query, compiles its full lineage (all
+// facts as variables), and returns the reusable oracle.
+func NewOracle(d *db.Database, q *query.UCQ, opts dnnf.Options) (*Oracle, error) {
+	if !q.IsBoolean() {
+		return nil, fmt.Errorf("pqe: query has arity %d, want Boolean", q.Arity())
+	}
+	cb := circuit.NewBuilder()
+	lin, err := engine.EvalBoolean(d, q, cb, engine.Options{Mode: engine.ModeFull})
+	if err != nil {
+		return nil, err
+	}
+	formula := cnf.TseytinReserving(lin, d.NumFacts())
+	compiled, _, err := dnnf.Compile(formula, opts)
+	if err != nil {
+		return nil, fmt.Errorf("pqe: lineage compilation: %w", err)
+	}
+	reduced := dnnf.EliminateAux(compiled, func(v int) bool { return formula.Aux[v] })
+	return &Oracle{db: d, dnnf: reduced}, nil
+}
+
+// Probability returns Pr(q, (D, π)) for the given per-fact probabilities.
+// Facts not present in pi default to probability 1 (certain).
+func (o *Oracle) Probability(pi map[db.FactID]*big.Rat) *big.Rat {
+	o.numCalls++
+	one := big.NewRat(1, 1)
+	return dnnf.WMC(o.dnnf, func(v int) *big.Rat {
+		if p, ok := pi[db.FactID(v)]; ok {
+			return p
+		}
+		return one
+	})
+}
+
+// NumCalls reports how many oracle invocations have been made, to witness
+// the polynomial call count of the reduction.
+func (o *Oracle) NumCalls() int { return o.numCalls }
+
+// CountSlices recovers #Slices(q, Dx∪F1, Dn', k) for k = 0..|Dn'| where Dn'
+// is the given set of "free" endogenous facts and F1 is the set of facts
+// forced present (probability 1); facts in F0 are forced absent
+// (probability 0). Exogenous facts always have probability 1. The counts
+// are exact integers obtained by the Vandermonde inversion.
+func (o *Oracle) CountSlices(free []db.FactID, forcedOn, forcedOff map[db.FactID]bool) ([]*big.Int, error) {
+	n := len(free)
+	zero := new(big.Rat)
+	one := big.NewRat(1, 1)
+
+	// Evaluation points z_r = r+1 for r = 0..n (distinct positive values).
+	zs := make([]*big.Rat, n+1)
+	rhs := make([]*big.Rat, n+1)
+	for r := 0; r <= n; r++ {
+		z := big.NewRat(int64(r+1), 1)
+		zs[r] = z
+		pz := new(big.Rat).Quo(z, new(big.Rat).Add(one, z)) // z/(1+z)
+		pi := make(map[db.FactID]*big.Rat, len(free)+len(forcedOn)+len(forcedOff))
+		for _, f := range free {
+			pi[f] = pz
+		}
+		for f := range forcedOn {
+			pi[f] = one
+		}
+		for f := range forcedOff {
+			pi[f] = zero
+		}
+		pr := o.Probability(pi)
+		// rhs_r = (1+z)^n · Pr.
+		scale := new(big.Rat).Add(one, z)
+		acc := big.NewRat(1, 1)
+		for i := 0; i < n; i++ {
+			acc.Mul(acc, scale)
+		}
+		rhs[r] = acc.Mul(acc, pr)
+	}
+	vm := linalg.VandermondeRat(zs)
+	sol, err := linalg.SolveRat(vm, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("pqe: Vandermonde solve: %w", err)
+	}
+	out := make([]*big.Int, n+1)
+	for i, s := range sol {
+		if !s.IsInt() {
+			return nil, fmt.Errorf("pqe: non-integer slice count %v at k=%d", s, i)
+		}
+		out[i] = new(big.Int).Set(s.Num())
+	}
+	return out, nil
+}
+
+// ShapleyViaPQE computes the exact Shapley value of every endogenous fact
+// using only PQE oracle calls, per Proposition 3.1 and Equation (2):
+//
+//	Shapley(q, Dn, Dx, f) = Σ_k coef(k) · (#Slices(q, Dx∪{f}, Dn\{f}, k)
+//	                                      − #Slices(q, Dx,     Dn\{f}, k)).
+//
+// It is asymptotically slower than Algorithm 1 (O(n²) oracle calls) but
+// depends only on the PQE interface, which is the point of the reduction.
+func ShapleyViaPQE(d *db.Database, q *query.UCQ, opts dnnf.Options) (core.Values, error) {
+	oracle, err := NewOracle(d, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	endoFacts := d.EndogenousFacts()
+	endo := make([]db.FactID, len(endoFacts))
+	for i, f := range endoFacts {
+		endo[i] = f.ID
+	}
+	n := len(endo)
+	out := make(core.Values, n)
+	if n == 0 {
+		return out, nil
+	}
+	coefs := core.ShapleyCoefficients(n)
+	for i, f := range endo {
+		rest := make([]db.FactID, 0, n-1)
+		rest = append(rest, endo[:i]...)
+		rest = append(rest, endo[i+1:]...)
+		with, err := oracle.CountSlices(rest, map[db.FactID]bool{f: true}, nil)
+		if err != nil {
+			return nil, err
+		}
+		without, err := oracle.CountSlices(rest, nil, map[db.FactID]bool{f: true})
+		if err != nil {
+			return nil, err
+		}
+		total := new(big.Rat)
+		var diff big.Int
+		var term big.Rat
+		for k := 0; k <= n-1; k++ {
+			diff.Sub(with[k], without[k])
+			if diff.Sign() == 0 {
+				continue
+			}
+			term.SetInt(&diff)
+			term.Mul(&term, coefs[k])
+			total.Add(total, &term)
+		}
+		out[f] = total
+	}
+	return out, nil
+}

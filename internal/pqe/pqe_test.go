@@ -1,0 +1,193 @@
+package pqe
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/dnnf"
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/query"
+)
+
+// TestProbabilityAgainstEnumeration checks the WMC-based PQE oracle against
+// brute-force enumeration of all sub-databases of the running example's
+// endogenous facts.
+func TestProbabilityAgainstEnumeration(t *testing.T) {
+	d, fs := flights.Build()
+	q := flights.Query()
+	oracle, err := NewOracle(d, q, dnnf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assign distinct probabilities to the endogenous flights; airports
+	// stay certain.
+	pi := make(map[db.FactID]*big.Rat)
+	for i := 1; i <= 8; i++ {
+		pi[fs.A[i].ID] = big.NewRat(int64(i), 10)
+	}
+	got := oracle.Probability(pi)
+
+	// Brute force: Σ over endogenous subsets with q true of the subset
+	// probability.
+	want := new(big.Rat)
+	endo := d.EndogenousFacts()
+	one := big.NewRat(1, 1)
+	for mask := 0; mask < 1<<len(endo); mask++ {
+		subset := make(map[db.FactID]bool)
+		p := big.NewRat(1, 1)
+		for i, f := range endo {
+			in := mask&(1<<i) != 0
+			subset[f.ID] = in
+			if in {
+				p.Mul(p, pi[f.ID])
+			} else {
+				p.Mul(p, new(big.Rat).Sub(one, pi[f.ID]))
+			}
+		}
+		sub := d.WithEndogenousSubset(subset)
+		cb := circuit.NewBuilder()
+		lin, err := engine.EvalBoolean(sub, q, cb, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make(map[circuit.Var]bool)
+		for _, f := range sub.EndogenousFacts() {
+			all[circuit.Var(f.ID)] = true
+		}
+		if circuit.Eval(lin, all) {
+			want.Add(want, p)
+		}
+	}
+	if got.Cmp(want) != 0 {
+		t.Errorf("Pr(q) = %v, want %v", got, want)
+	}
+}
+
+// TestCountSlicesAgainstNaive compares the Vandermonde-recovered #Slices
+// with direct enumeration.
+func TestCountSlicesAgainstNaive(t *testing.T) {
+	d, _ := flights.Build()
+	q := flights.Query()
+	oracle, err := NewOracle(d, q, dnnf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endoFacts := d.EndogenousFacts()
+	endo := make([]db.FactID, len(endoFacts))
+	for i, f := range endoFacts {
+		endo[i] = f.ID
+	}
+	got, err := oracle.CountSlices(endo, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := func(subset map[db.FactID]bool) bool {
+		sub := d.WithEndogenousSubset(subset)
+		cb := circuit.NewBuilder()
+		lin, err := engine.EvalBoolean(sub, q, cb, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make(map[circuit.Var]bool)
+		for _, f := range sub.EndogenousFacts() {
+			all[circuit.Var(f.ID)] = true
+		}
+		return circuit.Eval(lin, all)
+	}
+	want, err := core.CountSlices(game, endo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths %d vs %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k].Cmp(want[k]) != 0 {
+			t.Errorf("#Slices_%d = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestShapleyViaPQEMatchesAlgorithm1 is the reduction's headline test: the
+// Shapley values recovered through PQE oracle calls must coincide exactly
+// (as rationals) with Algorithm 1's output.
+func TestShapleyViaPQEMatchesAlgorithm1(t *testing.T) {
+	d, fs := flights.Build()
+	q := flights.Query()
+
+	viaPQE, err := ShapleyViaPQE(d, q, dnnf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[db.FactID]*big.Rat{
+		fs.A[1].ID: big.NewRat(43, 105),
+		fs.A[2].ID: big.NewRat(23, 210),
+		fs.A[3].ID: big.NewRat(23, 210),
+		fs.A[4].ID: big.NewRat(23, 210),
+		fs.A[5].ID: big.NewRat(23, 210),
+		fs.A[6].ID: big.NewRat(8, 105),
+		fs.A[7].ID: big.NewRat(8, 105),
+		fs.A[8].ID: new(big.Rat),
+	}
+	for id, w := range want {
+		if viaPQE[id].Cmp(w) != 0 {
+			t.Errorf("ShapleyViaPQE[%d] = %v, want %v", id, viaPQE[id], w)
+		}
+	}
+}
+
+// TestOracleCallCountPolynomial verifies the reduction uses O(n²) oracle
+// calls for n endogenous facts (2 CountSlices per fact, each n calls).
+func TestOracleCallCountPolynomial(t *testing.T) {
+	d, _ := flights.Build()
+	q := flights.Query()
+	oracle, err := NewOracle(d, q, dnnf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endoFacts := d.EndogenousFacts()
+	endo := make([]db.FactID, 0, len(endoFacts))
+	for _, f := range endoFacts {
+		endo = append(endo, f.ID)
+	}
+	if _, err := oracle.CountSlices(endo[1:], map[db.FactID]bool{endo[0]: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := oracle.NumCalls(), len(endo); got != want {
+		t.Errorf("CountSlices used %d oracle calls, want %d", got, want)
+	}
+}
+
+func TestNewOracleRejectsNonBoolean(t *testing.T) {
+	d, _ := flights.Build()
+	q := query.MustParse(`q(x) :- Flights(x, y)`)
+	if _, err := NewOracle(d, q, dnnf.Options{}); err == nil {
+		t.Error("non-Boolean query accepted")
+	}
+}
+
+func TestProbabilityCertainDatabase(t *testing.T) {
+	d, _ := flights.Build()
+	oracle, err := NewOracle(d, flights.Query(), dnnf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All probabilities default to 1: the query is certainly true.
+	if got := oracle.Probability(nil); got.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("Pr = %v, want 1", got)
+	}
+	// All endogenous facts impossible: the query is certainly false.
+	pi := make(map[db.FactID]*big.Rat)
+	for _, f := range d.EndogenousFacts() {
+		pi[f.ID] = new(big.Rat)
+	}
+	if got := oracle.Probability(pi); got.Sign() != 0 {
+		t.Errorf("Pr = %v, want 0", got)
+	}
+}

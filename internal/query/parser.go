@@ -1,0 +1,270 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/db"
+)
+
+// Parse reads a UCQ in datalog-style syntax. Each non-empty line is one
+// rule; all rules must share the same head variables and their union is the
+// query. Syntax:
+//
+//	q(x, y) :- Flights(x, z), Airports(z, 'FR'), y > 3, name ~ 'Inc'
+//
+// Identifiers are variables; quoted strings and numeric literals are
+// constants. Comparisons between a variable and a constant or variable use
+// =, !=, <, <=, >, >=, ~ (contains), ^ (prefix). A Boolean query has an
+// empty head: q() :- ...
+func Parse(text string) (*UCQ, error) {
+	// A rule starts at a line containing ":-"; following lines without it
+	// are continuations of the same rule.
+	var rules []string
+	var startLines []int
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, ":-") || len(rules) == 0 {
+			rules = append(rules, line)
+			startLines = append(startLines, lineNo+1)
+		} else {
+			rules[len(rules)-1] += " " + line
+		}
+	}
+	var disjuncts []CQ
+	for i, rule := range rules {
+		cq, err := parseRule(rule)
+		if err != nil {
+			return nil, fmt.Errorf("query: rule at line %d: %w", startLines[i], err)
+		}
+		disjuncts = append(disjuncts, cq)
+	}
+	if len(disjuncts) == 0 {
+		return nil, fmt.Errorf("query: no rules found")
+	}
+	return NewUCQ(disjuncts...)
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(text string) *UCQ {
+	u, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+type tokenizer struct {
+	input string
+	pos   int
+}
+
+func (t *tokenizer) skipSpace() {
+	for t.pos < len(t.input) && unicode.IsSpace(rune(t.input[t.pos])) {
+		t.pos++
+	}
+}
+
+func (t *tokenizer) peek() byte {
+	t.skipSpace()
+	if t.pos >= len(t.input) {
+		return 0
+	}
+	return t.input[t.pos]
+}
+
+func (t *tokenizer) eof() bool { return t.peek() == 0 }
+
+func (t *tokenizer) consume(s string) bool {
+	t.skipSpace()
+	if strings.HasPrefix(t.input[t.pos:], s) {
+		t.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (t *tokenizer) expect(s string) error {
+	if !t.consume(s) {
+		return fmt.Errorf("expected %q at position %d (%q)", s, t.pos, remain(t))
+	}
+	return nil
+}
+
+func remain(t *tokenizer) string {
+	r := t.input[t.pos:]
+	if len(r) > 20 {
+		r = r[:20] + "..."
+	}
+	return r
+}
+
+func (t *tokenizer) ident() (string, error) {
+	t.skipSpace()
+	start := t.pos
+	for t.pos < len(t.input) {
+		c := rune(t.input[t.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			t.pos++
+		} else {
+			break
+		}
+	}
+	if t.pos == start {
+		return "", fmt.Errorf("expected identifier at position %d (%q)", start, remain(t))
+	}
+	return t.input[start:t.pos], nil
+}
+
+// term parses a variable, quoted string, or numeric literal.
+func (t *tokenizer) term() (Term, error) {
+	t.skipSpace()
+	if t.pos >= len(t.input) {
+		return Term{}, fmt.Errorf("expected term at end of input")
+	}
+	c := t.input[t.pos]
+	switch {
+	case c == '\'' || c == '"':
+		quote := c
+		t.pos++
+		start := t.pos
+		for t.pos < len(t.input) && t.input[t.pos] != quote {
+			t.pos++
+		}
+		if t.pos >= len(t.input) {
+			return Term{}, fmt.Errorf("unterminated string literal")
+		}
+		s := t.input[start:t.pos]
+		t.pos++
+		return C(db.String(s)), nil
+	case c == '-' || unicode.IsDigit(rune(c)):
+		start := t.pos
+		t.pos++
+		isFloat := false
+		for t.pos < len(t.input) {
+			d := t.input[t.pos]
+			if d == '.' {
+				isFloat = true
+				t.pos++
+				continue
+			}
+			if !unicode.IsDigit(rune(d)) {
+				break
+			}
+			t.pos++
+		}
+		lit := t.input[start:t.pos]
+		if isFloat {
+			f, err := strconv.ParseFloat(lit, 64)
+			if err != nil {
+				return Term{}, fmt.Errorf("bad float literal %q: %v", lit, err)
+			}
+			return C(db.Float(f)), nil
+		}
+		n, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("bad integer literal %q: %v", lit, err)
+		}
+		return C(db.Int(n)), nil
+	default:
+		name, err := t.ident()
+		if err != nil {
+			return Term{}, err
+		}
+		return V(name), nil
+	}
+}
+
+var operators = []struct {
+	text string
+	op   Op
+}{
+	{"!=", OpNe}, {"<=", OpLe}, {">=", OpGe},
+	{"=", OpEq}, {"<", OpLt}, {">", OpGt}, {"~", OpContains}, {"^", OpPrefix},
+}
+
+func parseRule(line string) (CQ, error) {
+	t := &tokenizer{input: line}
+	var cq CQ
+	// Head: q(x, y) or q()
+	if _, err := t.ident(); err != nil {
+		return cq, fmt.Errorf("head: %w", err)
+	}
+	if err := t.expect("("); err != nil {
+		return cq, err
+	}
+	if !t.consume(")") {
+		for {
+			v, err := t.ident()
+			if err != nil {
+				return cq, fmt.Errorf("head variable: %w", err)
+			}
+			cq.Head = append(cq.Head, v)
+			if t.consume(")") {
+				break
+			}
+			if err := t.expect(","); err != nil {
+				return cq, err
+			}
+		}
+	}
+	if err := t.expect(":-"); err != nil {
+		return cq, err
+	}
+	// Body: atoms and filters separated by commas.
+	for {
+		name, err := t.ident()
+		if err != nil {
+			return cq, fmt.Errorf("body: %w", err)
+		}
+		if t.consume("(") {
+			atom := Atom{Relation: name}
+			if !t.consume(")") {
+				for {
+					term, err := t.term()
+					if err != nil {
+						return cq, fmt.Errorf("atom %s: %w", name, err)
+					}
+					atom.Args = append(atom.Args, term)
+					if t.consume(")") {
+						break
+					}
+					if err := t.expect(","); err != nil {
+						return cq, err
+					}
+				}
+			}
+			cq.Atoms = append(cq.Atoms, atom)
+		} else {
+			// Filter: name OP term.
+			matched := false
+			var op Op
+			for _, cand := range operators {
+				if t.consume(cand.text) {
+					op, matched = cand.op, true
+					break
+				}
+			}
+			if !matched {
+				return cq, fmt.Errorf("expected comparison operator after %q (%q)", name, remain(t))
+			}
+			rhs, err := t.term()
+			if err != nil {
+				return cq, fmt.Errorf("filter %s: %w", name, err)
+			}
+			cq.Filters = append(cq.Filters, Filter{Left: name, Op: op, Right: rhs})
+		}
+		if t.eof() {
+			break
+		}
+		if err := t.expect(","); err != nil {
+			return cq, err
+		}
+	}
+	return cq, nil
+}

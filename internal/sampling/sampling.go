@@ -1,0 +1,391 @@
+// Package sampling implements the two inexact baselines of Section 6.2:
+// Monte Carlo permutation sampling [Mann & Shapley 1960] and Kernel SHAP
+// [Lundberg & Lee 2017], both adapted to database provenance: the players
+// are the distinct endogenous facts of a lineage circuit and the game is the
+// Boolean value of the lineage on a sub-instance.
+package sampling
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/linalg"
+)
+
+// Game is a Boolean cooperative game over the distinct facts of a lineage
+// circuit, with a fast slice-based evaluator (the circuit is flattened to a
+// postorder program once, then evaluated thousands of times).
+type Game struct {
+	Players []db.FactID
+	prog    []instr
+	varSlot map[db.FactID]int
+}
+
+type instr struct {
+	kind     circuit.Kind
+	val      bool
+	slot     int   // assignment slot for var gates
+	children []int // program indices
+}
+
+// NewGame flattens the lineage circuit. Players are the circuit's distinct
+// variables in increasing fact-ID order.
+func NewGame(lineage *circuit.Node) *Game {
+	vars := circuit.Vars(lineage)
+	g := &Game{varSlot: make(map[db.FactID]int, len(vars))}
+	for i, v := range vars {
+		g.Players = append(g.Players, db.FactID(v))
+		g.varSlot[db.FactID(v)] = i
+	}
+	index := make(map[int]int)
+	var flatten func(n *circuit.Node) int
+	flatten = func(n *circuit.Node) int {
+		if idx, ok := index[n.ID()]; ok {
+			return idx
+		}
+		in := instr{kind: n.Kind, val: n.Val}
+		if n.Kind == circuit.KindVar {
+			in.slot = g.varSlot[db.FactID(n.Var)]
+		}
+		for _, c := range n.Children {
+			in.children = append(in.children, flatten(c))
+		}
+		g.prog = append(g.prog, in)
+		idx := len(g.prog) - 1
+		index[n.ID()] = idx
+		return idx
+	}
+	flatten(lineage)
+	return g
+}
+
+// NumPlayers returns the number of distinct facts in the lineage.
+func (g *Game) NumPlayers() int { return len(g.Players) }
+
+// Eval evaluates the game on a coalition given as a presence slice aligned
+// with Players.
+func (g *Game) Eval(present []bool) bool {
+	vals := make([]bool, len(g.prog))
+	for i, in := range g.prog {
+		switch in.kind {
+		case circuit.KindVar:
+			vals[i] = present[in.slot]
+		case circuit.KindConst:
+			vals[i] = in.val
+		case circuit.KindNot:
+			vals[i] = !vals[in.children[0]]
+		case circuit.KindAnd:
+			v := true
+			for _, c := range in.children {
+				if !vals[c] {
+					v = false
+					break
+				}
+			}
+			vals[i] = v
+		case circuit.KindOr:
+			v := false
+			for _, c := range in.children {
+				if vals[c] {
+					v = true
+					break
+				}
+			}
+			vals[i] = v
+		}
+	}
+	if len(vals) == 0 {
+		return false
+	}
+	return vals[len(vals)-1]
+}
+
+// EvalSet evaluates the game on a coalition given as a fact set.
+func (g *Game) EvalSet(coalition map[db.FactID]bool) bool {
+	present := make([]bool, len(g.Players))
+	for i, p := range g.Players {
+		present[i] = coalition[p]
+	}
+	return g.Eval(present)
+}
+
+// MonteCarlo approximates the Shapley value of every player with a budget of
+// `budget` game evaluations (= ⌈budget/n⌉ permutations of the n players, as
+// in Section 6.2 where budgets are expressed as r·n samples). Facts never
+// appearing in the lineage are not players and implicitly score 0.
+func MonteCarlo(g *Game, budget int, rng *rand.Rand) map[db.FactID]float64 {
+	n := g.NumPlayers()
+	out := make(map[db.FactID]float64, n)
+	if n == 0 {
+		return out
+	}
+	perms := (budget + n - 1) / n
+	if perms < 1 {
+		perms = 1
+	}
+	acc := make([]float64, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	present := make([]bool, n)
+	for r := 0; r < perms; r++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := range present {
+			present[i] = false
+		}
+		prev := g.Eval(present)
+		for _, p := range perm {
+			present[p] = true
+			cur := g.Eval(present)
+			if cur != prev {
+				if cur {
+					acc[p]++
+				} else {
+					acc[p]--
+				}
+			}
+			prev = cur
+		}
+	}
+	for i, p := range g.Players {
+		out[p] = acc[i] / float64(perms)
+	}
+	return out
+}
+
+// KernelSHAP approximates Shapley values by sampling `budget` coalitions,
+// weighting them with the SHAP kernel π(s) = (M−1)/(C(M,s)·s·(M−s)), and
+// solving a weighted least-squares problem for the linear surrogate
+// g(z) = φ0 + Σ φ_i z_i. Following the paper's adaptation, the explained
+// vector is all-ones and the background is a single all-zeros example, so
+// the surrogate's targets are plain lineage evaluations. The empty and full
+// coalitions anchor the regression with large weights, enforcing
+// g(∅) ≈ h(∅) and g(1) ≈ h(1).
+func KernelSHAP(g *Game, budget int, rng *rand.Rand) map[db.FactID]float64 {
+	m := g.NumPlayers()
+	out := make(map[db.FactID]float64, m)
+	if m == 0 {
+		return out
+	}
+	if m == 1 {
+		// φ = h({f}) − h(∅) directly; the kernel is undefined for M=1.
+		out[g.Players[0]] = btof(g.Eval([]bool{true})) - btof(g.Eval([]bool{false}))
+		return out
+	}
+
+	type sample struct {
+		z []bool
+		w float64
+	}
+	var samples []sample
+
+	// Size distribution proportional to total kernel mass per size.
+	sizeWeights := make([]float64, m) // index s = 1..m-1
+	totalW := 0.0
+	for s := 1; s <= m-1; s++ {
+		w := float64(m-1) / (float64(s) * float64(m-s)) // mass of the whole size class
+		sizeWeights[s-1] = w
+		totalW += w
+	}
+
+	const anchorWeight = 1e6
+	empty := make([]bool, m)
+	full := make([]bool, m)
+	for i := range full {
+		full[i] = true
+	}
+	samples = append(samples,
+		sample{z: empty, w: anchorWeight},
+		sample{z: full, w: anchorWeight})
+
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	for k := 0; k < budget; k++ {
+		// Sample a size, then a uniform coalition of that size. A uniform
+		// coalition within a size class carries the class weight evenly, so
+		// per-sample regression weight is constant; we use 1.
+		r := rng.Float64() * totalW
+		s := 1
+		for ; s < m-1; s++ {
+			if r < sizeWeights[s-1] {
+				break
+			}
+			r -= sizeWeights[s-1]
+		}
+		rng.Shuffle(m, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		z := make([]bool, m)
+		for _, p := range idx[:s] {
+			z[p] = true
+		}
+		samples = append(samples, sample{z: z, w: 1})
+	}
+
+	// Design matrix with intercept column (φ0) followed by per-player
+	// indicator columns.
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	w := make([]float64, len(samples))
+	for i, s := range samples {
+		row := make([]float64, m+1)
+		row[0] = 1
+		for j, in := range s.z {
+			if in {
+				row[j+1] = 1
+			}
+		}
+		x[i] = row
+		y[i] = btof(g.Eval(s.z))
+		w[i] = s.w
+	}
+	beta, err := linalg.WeightedLeastSquares(x, y, w, 1e-9)
+	if err != nil {
+		// Degenerate sample set: fall back to zeros rather than failing the
+		// whole comparison run.
+		for _, p := range g.Players {
+			out[p] = 0
+		}
+		return out
+	}
+	for i, p := range g.Players {
+		out[p] = beta[i+1]
+	}
+	return out
+}
+
+// KernelSHAPExhaustive runs the Kernel SHAP regression over every coalition
+// with its exact kernel weight. With full coverage, the weighted regression
+// recovers the exact Shapley values (a known property of the SHAP kernel),
+// which makes this the correctness oracle for the sampled variant. It is
+// exponential in the number of players.
+func KernelSHAPExhaustive(g *Game) map[db.FactID]float64 {
+	m := g.NumPlayers()
+	out := make(map[db.FactID]float64, m)
+	if m == 0 {
+		return out
+	}
+	if m == 1 {
+		out[g.Players[0]] = btof(g.Eval([]bool{true})) - btof(g.Eval([]bool{false}))
+		return out
+	}
+	var x [][]float64
+	var y, w []float64
+	const anchorWeight = 1e8
+	binom := func(n, k int) float64 {
+		res := 1.0
+		for i := 1; i <= k; i++ {
+			res = res * float64(n-i+1) / float64(i)
+		}
+		return res
+	}
+	for mask := 0; mask < 1<<m; mask++ {
+		s := 0
+		z := make([]bool, m)
+		row := make([]float64, m+1)
+		row[0] = 1
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				z[i] = true
+				row[i+1] = 1
+				s++
+			}
+		}
+		var weight float64
+		if s == 0 || s == m {
+			weight = anchorWeight
+		} else {
+			weight = float64(m-1) / (binom(m, s) * float64(s) * float64(m-s))
+		}
+		x = append(x, row)
+		y = append(y, btof(g.Eval(z)))
+		w = append(w, weight)
+	}
+	beta, err := linalg.WeightedLeastSquares(x, y, w, 1e-12)
+	if err != nil {
+		return out
+	}
+	for i, p := range g.Players {
+		out[p] = beta[i+1]
+	}
+	return out
+}
+
+// ExactBySubsets computes exact Shapley values of the game by subset
+// enumeration, returned as floats; a convenience oracle for tests and small
+// benchmarks.
+func ExactBySubsets(g *Game) map[db.FactID]float64 {
+	m := g.NumPlayers()
+	out := make(map[db.FactID]float64, m)
+	if m == 0 {
+		return out
+	}
+	vals := make([]bool, 1<<m)
+	z := make([]bool, m)
+	for mask := 0; mask < 1<<m; mask++ {
+		for i := 0; i < m; i++ {
+			z[i] = mask&(1<<i) != 0
+		}
+		vals[mask] = g.Eval(z)
+	}
+	// coef[k] = k!(m−k−1)!/m! = 1/(m·C(m−1,k)).
+	coefs := make([]float64, m)
+	for k := 0; k < m; k++ {
+		binom := 1.0
+		for i := 1; i <= k; i++ {
+			binom = binom * float64(m-i) / float64(i)
+		}
+		coefs[k] = 1 / (float64(m) * binom)
+	}
+	for i, p := range g.Players {
+		total := 0.0
+		bit := 1 << i
+		for mask := 0; mask < 1<<m; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			with, without := vals[mask|bit], vals[mask]
+			if with == without {
+				continue
+			}
+			k := popcount(mask)
+			if with {
+				total += coefs[k]
+			} else {
+				total -= coefs[k]
+			}
+		}
+		out[p] = total
+	}
+	return out
+}
+
+func btof(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// SortedPlayers returns the players sorted by ID (a stable iteration helper
+// for reports).
+func SortedPlayers(m map[db.FactID]float64) []db.FactID {
+	ids := make([]db.FactID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,182 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/flights"
+)
+
+// flightsGame builds the sampling game for the running example.
+func flightsGame(t *testing.T) (*Game, *flights.Facts) {
+	t.Helper()
+	d, fs := flights.Build()
+	b := circuit.NewBuilder()
+	elin, err := engine.EvalBoolean(d, flights.Query(), b, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGame(elin), fs
+}
+
+func TestGameEvalMatchesCircuit(t *testing.T) {
+	d, _ := flights.Build()
+	b := circuit.NewBuilder()
+	elin, err := engine.EvalBoolean(d, flights.Query(), b, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGame(elin)
+	if g.NumPlayers() != 7 {
+		t.Fatalf("players = %d, want 7 (a8 absent from lineage)", g.NumPlayers())
+	}
+	present := make([]bool, g.NumPlayers())
+	assign := make(map[circuit.Var]bool)
+	for mask := 0; mask < 1<<g.NumPlayers(); mask++ {
+		for i, p := range g.Players {
+			in := mask&(1<<i) != 0
+			present[i] = in
+			assign[circuit.Var(p)] = in
+		}
+		if g.Eval(present) != circuit.Eval(elin, assign) {
+			t.Fatalf("Game.Eval diverges from circuit.Eval at mask %07b", mask)
+		}
+	}
+}
+
+func TestEvalSet(t *testing.T) {
+	g, fs := flightsGame(t)
+	if !g.EvalSet(map[db.FactID]bool{fs.A[1].ID: true}) {
+		t.Error("a1 alone should satisfy the query")
+	}
+	if g.EvalSet(map[db.FactID]bool{fs.A[2].ID: true}) {
+		t.Error("a2 alone should not satisfy the query")
+	}
+	if !g.EvalSet(map[db.FactID]bool{fs.A[6].ID: true, fs.A[7].ID: true}) {
+		t.Error("a6+a7 should satisfy the query")
+	}
+}
+
+// TestExactBySubsets reproduces the paper's exact values as floats.
+func TestExactBySubsets(t *testing.T) {
+	g, fs := flightsGame(t)
+	exact := ExactBySubsets(g)
+	// Careful: the game has 7 players (a8 missing), but the paper's values
+	// are over 8 facts. Shapley over the 7-player game differs from the
+	// 8-fact game only by a8's null-player removal — values are unchanged
+	// because adding null players does not affect the others' values.
+	want := map[db.FactID]float64{
+		fs.A[1].ID: 43.0 / 105,
+		fs.A[2].ID: 23.0 / 210,
+		fs.A[3].ID: 23.0 / 210,
+		fs.A[4].ID: 23.0 / 210,
+		fs.A[5].ID: 23.0 / 210,
+		fs.A[6].ID: 8.0 / 105,
+		fs.A[7].ID: 8.0 / 105,
+	}
+	for id, w := range want {
+		if math.Abs(exact[id]-w) > 1e-12 {
+			t.Errorf("exact[%d] = %v, want %v", id, exact[id], w)
+		}
+	}
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	g, _ := flightsGame(t)
+	exact := ExactBySubsets(g)
+	rng := rand.New(rand.NewSource(97))
+	approx := MonteCarlo(g, 4000*g.NumPlayers(), rng)
+	for _, p := range g.Players {
+		if math.Abs(approx[p]-exact[p]) > 0.03 {
+			t.Errorf("MC[%d] = %v, exact %v (off by %v)", p, approx[p], exact[p],
+				math.Abs(approx[p]-exact[p]))
+		}
+	}
+}
+
+func TestMonteCarloDeterministicSeed(t *testing.T) {
+	g, _ := flightsGame(t)
+	a := MonteCarlo(g, 100, rand.New(rand.NewSource(1)))
+	b := MonteCarlo(g, 100, rand.New(rand.NewSource(1)))
+	for _, p := range g.Players {
+		if a[p] != b[p] {
+			t.Fatalf("same seed gave different results for %d: %v vs %v", p, a[p], b[p])
+		}
+	}
+}
+
+// TestKernelSHAPExhaustiveRecoversShapley exercises the known property that
+// the SHAP kernel regression over all coalitions yields the exact Shapley
+// values.
+func TestKernelSHAPExhaustiveRecoversShapley(t *testing.T) {
+	g, _ := flightsGame(t)
+	exact := ExactBySubsets(g)
+	got := KernelSHAPExhaustive(g)
+	for _, p := range g.Players {
+		if math.Abs(got[p]-exact[p]) > 1e-5 {
+			t.Errorf("KernelSHAP exhaustive[%d] = %v, want %v", p, got[p], exact[p])
+		}
+	}
+}
+
+func TestKernelSHAPSampledReasonable(t *testing.T) {
+	g, _ := flightsGame(t)
+	exact := ExactBySubsets(g)
+	rng := rand.New(rand.NewSource(13))
+	got := KernelSHAP(g, 50*g.NumPlayers(), rng)
+	for _, p := range g.Players {
+		if math.Abs(got[p]-exact[p]) > 0.15 {
+			t.Errorf("KernelSHAP[%d] = %v, want ≈ %v", p, got[p], exact[p])
+		}
+	}
+}
+
+func TestSinglePlayerGames(t *testing.T) {
+	d, _ := flights.Build()
+	b := circuit.NewBuilder()
+	elin, err := engine.EvalBoolean(d, flights.DirectQuery(), b, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGame(elin)
+	if g.NumPlayers() != 1 {
+		t.Fatalf("players = %d, want 1", g.NumPlayers())
+	}
+	rng := rand.New(rand.NewSource(3))
+	if v := KernelSHAP(g, 10, rng)[g.Players[0]]; v != 1 {
+		t.Errorf("KernelSHAP dictator = %v, want 1", v)
+	}
+	if v := KernelSHAPExhaustive(g)[g.Players[0]]; v != 1 {
+		t.Errorf("KernelSHAPExhaustive dictator = %v, want 1", v)
+	}
+	if v := MonteCarlo(g, 10, rng)[g.Players[0]]; v != 1 {
+		t.Errorf("MonteCarlo dictator = %v, want 1", v)
+	}
+}
+
+func TestEmptyGame(t *testing.T) {
+	b := circuit.NewBuilder()
+	g := NewGame(b.False())
+	if g.NumPlayers() != 0 {
+		t.Fatalf("players = %d, want 0", g.NumPlayers())
+	}
+	rng := rand.New(rand.NewSource(3))
+	if len(MonteCarlo(g, 10, rng)) != 0 || len(KernelSHAP(g, 10, rng)) != 0 {
+		t.Error("empty game produced values")
+	}
+	if g.Eval(nil) {
+		t.Error("false lineage evaluated true")
+	}
+}
+
+func TestSortedPlayers(t *testing.T) {
+	m := map[db.FactID]float64{3: 1, 1: 2, 2: 0}
+	got := SortedPlayers(m)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("SortedPlayers = %v", got)
+	}
+}

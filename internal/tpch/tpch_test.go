@@ -1,0 +1,178 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/engine"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if a.NumFacts() != b.NumFacts() {
+		t.Fatalf("same seed produced %d vs %d facts", a.NumFacts(), b.NumFacts())
+	}
+	for _, rel := range a.RelationNames() {
+		fa, fb := a.Relation(rel).Facts, b.Relation(rel).Facts
+		if len(fa) != len(fb) {
+			t.Fatalf("%s: %d vs %d facts", rel, len(fa), len(fb))
+		}
+		for i := range fa {
+			if !fa[i].Tuple.Equal(fb[i].Tuple) {
+				t.Fatalf("%s[%d]: %v vs %v", rel, i, fa[i].Tuple, fb[i].Tuple)
+			}
+		}
+	}
+}
+
+func TestGenerateSchema(t *testing.T) {
+	d := Generate(DefaultConfig())
+	want := []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"}
+	names := d.RelationNames()
+	if len(names) != len(want) {
+		t.Fatalf("relations = %v", names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("relation %d = %s, want %s", i, names[i], w)
+		}
+	}
+}
+
+func TestEndogenousRoles(t *testing.T) {
+	d := Generate(DefaultConfig())
+	endoRels := map[string]bool{"lineitem": true, "orders": true, "partsupp": true}
+	for _, rel := range d.RelationNames() {
+		for _, f := range d.Relation(rel).Facts {
+			if f.Endogenous != endoRels[rel] {
+				t.Fatalf("%s fact endogenous=%v, want %v", rel, f.Endogenous, endoRels[rel])
+			}
+		}
+	}
+}
+
+func TestForeignKeyIntegrity(t *testing.T) {
+	d := Generate(DefaultConfig())
+	orders := map[int64]bool{}
+	for _, f := range d.Relation("orders").Facts {
+		orders[f.Tuple[0].AsInt()] = true
+	}
+	parts := map[int64]bool{}
+	for _, f := range d.Relation("part").Facts {
+		parts[f.Tuple[0].AsInt()] = true
+	}
+	supps := map[int64]bool{}
+	for _, f := range d.Relation("supplier").Facts {
+		supps[f.Tuple[0].AsInt()] = true
+	}
+	custs := map[int64]bool{}
+	for _, f := range d.Relation("customer").Facts {
+		custs[f.Tuple[0].AsInt()] = true
+	}
+	for _, f := range d.Relation("lineitem").Facts {
+		if !orders[f.Tuple[0].AsInt()] {
+			t.Fatalf("lineitem references missing order %v", f.Tuple[0])
+		}
+		if !parts[f.Tuple[1].AsInt()] {
+			t.Fatalf("lineitem references missing part %v", f.Tuple[1])
+		}
+		if !supps[f.Tuple[2].AsInt()] {
+			t.Fatalf("lineitem references missing supplier %v", f.Tuple[2])
+		}
+	}
+	for _, f := range d.Relation("orders").Facts {
+		if !custs[f.Tuple[1].AsInt()] {
+			t.Fatalf("order references missing customer %v", f.Tuple[1])
+		}
+	}
+}
+
+func TestDatesValid(t *testing.T) {
+	d := Generate(DefaultConfig())
+	check := func(v int64, what string) {
+		y, m, day := v/10000, (v/100)%100, v%100
+		if y < 1992 || y > 1999 || m < 1 || m > 12 || day < 1 || day > 31 {
+			t.Fatalf("%s date %d is not a valid YYYYMMDD", what, v)
+		}
+	}
+	for _, f := range d.Relation("orders").Facts {
+		check(f.Tuple[4].AsInt(), "order")
+	}
+	for _, f := range d.Relation("lineitem").Facts {
+		ship := f.Tuple[7].AsInt()
+		check(ship, "ship")
+	}
+}
+
+func TestShipAfterOrder(t *testing.T) {
+	d := Generate(DefaultConfig())
+	orderDate := map[int64]int64{}
+	for _, f := range d.Relation("orders").Facts {
+		orderDate[f.Tuple[0].AsInt()] = f.Tuple[4].AsInt()
+	}
+	for _, f := range d.Relation("lineitem").Facts {
+		if f.Tuple[7].AsInt() <= orderDate[f.Tuple[0].AsInt()] {
+			t.Fatalf("lineitem shipped (%d) on or before its order date (%d)",
+				f.Tuple[7].AsInt(), orderDate[f.Tuple[0].AsInt()])
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := DefaultConfig()
+	half := base.Scaled(0.5)
+	if half.Customers != base.Customers/2 {
+		t.Errorf("Scaled(0.5).Customers = %d, want %d", half.Customers, base.Customers/2)
+	}
+	tiny := base.Scaled(0.0001)
+	if tiny.Customers < 1 || tiny.Parts < 1 || tiny.Suppliers < 1 {
+		t.Errorf("Scaled floor broken: %+v", tiny)
+	}
+	small := Generate(half)
+	full := Generate(base)
+	if len(small.Relation("lineitem").Facts) >= len(full.Relation("lineitem").Facts) {
+		t.Error("scaling did not reduce lineitem count")
+	}
+}
+
+func TestAllQueriesEvaluate(t *testing.T) {
+	d := Generate(DefaultConfig())
+	answered := 0
+	for _, bq := range Queries() {
+		b := circuit.NewBuilder()
+		answers, err := engine.Eval(d, bq.Q, b, engine.Options{Mode: engine.ModeEndogenous})
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		if len(answers) > 0 {
+			answered++
+		}
+		// Lineage of every answer must mention only endogenous facts.
+		for _, a := range answers {
+			for _, v := range circuit.Vars(a.Lineage) {
+				f := d.Fact(db.FactID(v))
+				if f == nil || !f.Endogenous {
+					t.Fatalf("%s: lineage references non-endogenous fact %d", bq.Name, v)
+				}
+			}
+		}
+	}
+	// The generator is biased so that (nearly) all suite queries produce
+	// output at the default scale; require at least 6 of 8.
+	if answered < 6 {
+		t.Errorf("only %d/%d queries produced output at default scale", answered, len(Queries()))
+	}
+}
+
+func TestQueryMetadata(t *testing.T) {
+	for _, bq := range Queries() {
+		if bq.Q.NumAtoms() < 2 && bq.Name != "q19" {
+			t.Errorf("%s: suspiciously few atoms (%d)", bq.Name, bq.Q.NumAtoms())
+		}
+		if bq.Q.NumFilters() == 0 {
+			t.Errorf("%s: no filter conditions", bq.Name)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package repro is a from-scratch Go implementation of "Computing the
+// Shapley Value of Facts in Query Answering" (Deutch, Frost, Kimelfeld,
+// Monet; SIGMOD 2022). It quantifies the contribution of each database fact
+// to a query answer using the game-theoretic Shapley value.
+//
+// The package is a facade over the internal implementation:
+//
+//   - an in-memory relational engine evaluating SPJU queries (unions of
+//     conjunctive queries with filters) with Boolean provenance capture,
+//   - a knowledge compiler from CNF to deterministic decomposable circuits
+//     (d-DNNF), standing in for the c2d compiler,
+//   - the paper's Algorithm 1 (exact Shapley values from d-DNNF circuits
+//     via the #SAT_k dynamic program), CNF Proxy (Algorithm 2), the
+//     Shapley-to-probabilistic-query-evaluation reduction
+//     (Proposition 3.1), Monte Carlo and Kernel SHAP baselines, and the
+//     hybrid exact-with-timeout strategy of Section 6.3.
+//
+// Basic usage:
+//
+//	d := repro.NewDatabase()
+//	d.CreateRelation("Flights", "src", "dst")
+//	d.MustInsert("Flights", true, repro.String("JFK"), repro.String("CDG"))
+//	...
+//	q, _ := repro.ParseQuery(`q() :- Flights(x, y), Airports(y, 'FR')`)
+//	answers, _ := repro.Explain(d, q, repro.Options{})
+//	for _, a := range answers {
+//	    fmt.Println(a.Tuple, a.TopFacts(3))
+//	}
+package repro
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/dnnf"
+	"repro/internal/engine"
+	"repro/internal/pqe"
+	"repro/internal/query"
+)
+
+// Re-exported data-model types. These aliases make the facade self-contained
+// for in-module consumers (commands, examples, benchmarks).
+type (
+	// Database is an in-memory relational database of endogenous and
+	// exogenous facts.
+	Database = db.Database
+	// Fact is one tuple of a relation with its provenance identity.
+	Fact = db.Fact
+	// FactID identifies a fact and doubles as its provenance variable.
+	FactID = db.FactID
+	// Tuple is an ordered list of values.
+	Tuple = db.Tuple
+	// Value is a typed constant (int, float, or string).
+	Value = db.Value
+	// Query is a union of conjunctive queries with filters (SPJU).
+	Query = query.UCQ
+	// Values maps facts to exact Shapley values (big.Rat).
+	Values = core.Values
+	// ProxyValues maps facts to CNF Proxy scores.
+	ProxyValues = core.ProxyValues
+)
+
+// Value constructors, re-exported.
+var (
+	Int    = db.Int
+	Float  = db.Float
+	String = db.String
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return db.New() }
+
+// ParseQuery parses a datalog-style UCQ; see internal/query for the syntax.
+func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
+
+// Method identifies which algorithm produced an explanation.
+type Method = core.Method
+
+// Explanation methods.
+const (
+	// MethodExact means exact Shapley values were computed via knowledge
+	// compilation and Algorithm 1.
+	MethodExact = core.MethodExact
+	// MethodProxy means the exact computation exceeded its budget and the
+	// ranking was produced by the CNF Proxy heuristic.
+	MethodProxy = core.MethodProxy
+)
+
+// Options configures Explain.
+type Options struct {
+	// Timeout is the per-output-tuple budget for the exact computation
+	// before falling back to CNF Proxy. Zero disables the fallback (exact
+	// runs unbounded), mirroring the paper's recommended hybrid with
+	// t = 2.5s when set.
+	Timeout time.Duration
+	// MaxNodes bounds the compiled circuit size (memory-exhaustion
+	// analogue); zero means unbounded.
+	MaxNodes int
+}
+
+// TupleExplanation is the result for one output tuple: either exact Shapley
+// values or proxy scores, plus the derived fact ranking.
+type TupleExplanation struct {
+	// Tuple is the output tuple being explained.
+	Tuple Tuple
+	// Method says whether Values (exact) or Proxy scores were produced.
+	Method Method
+	// Values holds exact Shapley values per endogenous fact (nil when
+	// Method == MethodProxy).
+	Values Values
+	// Proxy holds CNF Proxy scores (nil when Method == MethodExact).
+	Proxy ProxyValues
+	// Ranking lists the endogenous facts of the tuple's provenance by
+	// decreasing contribution.
+	Ranking []FactID
+	// NumFacts is the number of distinct endogenous facts in the lineage.
+	NumFacts int
+	// Elapsed is the wall-clock cost of explaining this tuple.
+	Elapsed time.Duration
+}
+
+// TopFacts returns the k highest-contributing facts.
+func (e *TupleExplanation) TopFacts(k int) []FactID {
+	if k > len(e.Ranking) {
+		k = len(e.Ranking)
+	}
+	return e.Ranking[:k]
+}
+
+// Score returns the fact's contribution as a float: the exact Shapley value
+// under MethodExact, the proxy score otherwise.
+func (e *TupleExplanation) Score(f FactID) float64 {
+	if e.Method == MethodExact {
+		v, _ := e.Values[f].Float64()
+		return v
+	}
+	v, _ := e.Proxy[f].Float64()
+	return v
+}
+
+// Explain evaluates the query over the database and explains every output
+// tuple: it computes, for each endogenous fact appearing in the tuple's
+// provenance, its exact Shapley value (or, past the time budget, its CNF
+// Proxy score). This is the end-to-end pipeline of Figure 3 combined with
+// the Section 6.3 hybrid strategy.
+func Explain(d *Database, q *Query, opts Options) ([]TupleExplanation, error) {
+	cb := circuit.NewBuilder()
+	answers, err := engine.Eval(d, q, cb, engine.Options{Mode: engine.ModeEndogenous})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TupleExplanation, 0, len(answers))
+	for _, a := range answers {
+		endo := lineageEndo(a.Lineage)
+		h := core.Hybrid(a.Lineage, endo, core.HybridOptions{
+			Timeout:  opts.Timeout,
+			MaxNodes: opts.MaxNodes,
+		})
+		out = append(out, TupleExplanation{
+			Tuple:    a.Tuple,
+			Method:   h.Method,
+			Values:   h.Values,
+			Proxy:    h.Proxy,
+			Ranking:  h.Ranking,
+			NumFacts: len(endo),
+			Elapsed:  h.Elapsed,
+		})
+	}
+	return out, nil
+}
+
+// ExplainBoolean explains a Boolean query's positive answer. It returns an
+// error if the query is non-Boolean; a query that is false on the full
+// database yields an explanation with no facts.
+func ExplainBoolean(d *Database, q *Query, opts Options) (*TupleExplanation, error) {
+	if !q.IsBoolean() {
+		return nil, fmt.Errorf("repro: query has arity %d, want Boolean", q.Arity())
+	}
+	es, err := Explain(d, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(es) == 0 {
+		return &TupleExplanation{Method: MethodExact, Values: Values{}}, nil
+	}
+	return &es[0], nil
+}
+
+// ShapleyViaProbabilisticDB computes exact Shapley values for a Boolean
+// query using only probabilistic-query-evaluation oracle calls, per the
+// reduction of Proposition 3.1. It is slower than Explain but demonstrates
+// (and cross-checks) the theoretical connection to probabilistic databases.
+func ShapleyViaProbabilisticDB(d *Database, q *Query) (Values, error) {
+	return pqe.ShapleyViaPQE(d, q, dnnf.Options{})
+}
+
+// Hierarchical reports whether every disjunct of the query is hierarchical.
+// For self-join-free conjunctive queries this is exactly the class for
+// which Shapley computation (and PQE) is tractable in the worst case; the
+// knowledge-compilation pipeline frequently succeeds well beyond it.
+func Hierarchical(q *Query) bool {
+	for _, d := range q.Disjuncts {
+		if !d.IsHierarchical() {
+			return false
+		}
+	}
+	return true
+}
+
+// EfficiencySum returns Σ_f values[f]; by the Shapley efficiency axiom it
+// equals q(Dn ∪ Dx) − q(Dx) for the explained tuple's Boolean game.
+func EfficiencySum(v Values) *big.Rat { return v.Sum() }
+
+func lineageEndo(lineage *circuit.Node) []FactID {
+	vars := circuit.Vars(lineage)
+	out := make([]FactID, len(vars))
+	for i, v := range vars {
+		out[i] = FactID(v)
+	}
+	return out
+}
