@@ -9,7 +9,10 @@ package repro
 // or use cmd/benchtables for a human-readable report of every artifact.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -47,7 +50,7 @@ func benchOptions() bench.Options {
 func benchCorpus(b *testing.B) *bench.Corpus {
 	b.Helper()
 	corpusOnce.Do(func() {
-		corpusVal, corpusErr = bench.RunCorpus(benchOptions())
+		corpusVal, corpusErr = bench.RunCorpus(context.Background(), benchOptions())
 	})
 	if corpusErr != nil {
 		b.Fatal(corpusErr)
@@ -60,7 +63,7 @@ func benchCorpus(b *testing.B) *bench.Corpus {
 // output tuple of the TPC-H and IMDB suites, with per-query statistics.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		c, err := bench.RunCorpus(benchOptions())
+		c, err := bench.RunCorpus(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +98,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	base := benchOptions().TPCH
 	for i := 0; i < b.N; i++ {
-		points, err := bench.RunScaling(base, []float64{0.25, 0.5, 0.75, 1.0},
+		points, err := bench.RunScaling(context.Background(), base, []float64{0.25, 0.5, 0.75, 1.0},
 			[]string{"q3", "q10", "q9", "q19"}, 2,
 			core.PipelineOptions{CompileTimeout: 2 * time.Second, ShapleyTimeout: 2 * time.Second})
 		if err != nil {
@@ -166,7 +169,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	elin, endo := flightsLineage(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ExplainCircuit(elin, endo, core.PipelineOptions{}); err != nil {
+		if _, err := core.ExplainCircuit(context.Background(), elin, endo, core.PipelineOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -229,14 +232,14 @@ func BenchmarkAblationComponentCache(b *testing.B) {
 	f := hardCNF(b)
 	b.Run("cache=on", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := dnnf.Compile(f, dnnf.Options{}); err != nil {
+			if _, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("cache=off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := dnnf.Compile(f, dnnf.Options{DisableCache: true, Timeout: 10 * time.Second}); err != nil {
+			if _, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{DisableCache: true, Timeout: 10 * time.Second}); err != nil {
 				if err == dnnf.ErrTimeout {
 					b.Skip("cache-off compilation exceeds 10s on this instance — the ablation's point")
 				}
@@ -252,14 +255,14 @@ func BenchmarkAblationVarOrder(b *testing.B) {
 	f := hardCNF(b)
 	b.Run("order=most-frequent", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := dnnf.Compile(f, dnnf.Options{Order: dnnf.OrderMostFrequent}); err != nil {
+			if _, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{Order: dnnf.OrderMostFrequent}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("order=lexicographic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := dnnf.Compile(f, dnnf.Options{Order: dnnf.OrderLexicographic, Timeout: 10 * time.Second}); err != nil {
+			if _, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{Order: dnnf.OrderLexicographic, Timeout: 10 * time.Second}); err != nil {
 				if err == dnnf.ErrTimeout {
 					b.Skip("lexicographic compilation exceeds 10s on this instance")
 				}
@@ -274,7 +277,7 @@ func BenchmarkAblationVarOrder(b *testing.B) {
 // on large circuits and is therefore not used by Algorithm 1).
 func BenchmarkAblationExactVsFloatCounts(b *testing.B) {
 	f := hardCNF(b)
-	compiled, _, err := dnnf.Compile(f, dnnf.Options{})
+	compiled, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -287,6 +290,114 @@ func BenchmarkAblationExactVsFloatCounts(b *testing.B) {
 	b.Run("counts=float64", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = core.FloatSATk(reduced)
+		}
+	})
+}
+
+// --- parallel pipeline benchmarks ---
+
+// parallelWorkload compiles the largest successful corpus tuple (a TPC-H or
+// IMDB lineage) down to its reduced d-DNNF, the input of Algorithm 1.
+func parallelWorkload(b *testing.B) (*dnnf.Node, []FactID) {
+	b.Helper()
+	c := benchCorpus(b)
+	var best *bench.TupleResult
+	for _, t := range c.SuccessfulTuples() {
+		if best == nil || t.NumFacts > best.NumFacts {
+			best = t
+		}
+	}
+	if best == nil {
+		b.Skip("no successful tuples in corpus")
+	}
+	res, err := core.ExplainCircuit(context.Background(), best.ELin, best.Endo, core.PipelineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.DNNF, best.Endo
+}
+
+// BenchmarkShapleyAllParallel measures Algorithm 1's per-fact fan-out on the
+// heaviest TPC-H/IMDB lineage of the corpus: workers=1 is the serial
+// baseline, workers=GOMAXPROCS the saturated configuration. The setup phase
+// asserts the parallel Values are big.Rat-identical to the serial ones, so
+// the speedup is measured on provably equivalent computations.
+func BenchmarkShapleyAllParallel(b *testing.B) {
+	circ, endo := parallelWorkload(b)
+	serial, err := core.ShapleyAll(context.Background(), circ, endo, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := make(map[int]bool)
+	for _, workers := range configs {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		v, err := core.ShapleyAll(context.Background(), circ, endo, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f, sv := range serial {
+			if pv := v[f]; pv == nil || pv.Cmp(sv) != 0 {
+				b.Fatalf("workers=%d fact %d: %v != serial %v", workers, f, pv, sv)
+			}
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ShapleyAll(context.Background(), circ, endo, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExplainParallel measures the end-to-end facade — per-answer
+// fan-out plus per-fact fan-out — on the TPC-H q3 output at the default
+// scale, serial versus saturated.
+func BenchmarkExplainParallel(b *testing.B) {
+	d := tpch.Generate(benchOptions().TPCH)
+	var q *Query
+	for _, bq := range tpch.Queries() {
+		if bq.Name == "q3" {
+			q = bq.Q
+		}
+	}
+	if q == nil {
+		b.Fatal("tpch q3 missing")
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := Options{Timeout: 2 * time.Second, Workers: workers, CacheSize: -1}
+				if _, err := Explain(context.Background(), d, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCache quantifies the cross-call compilation cache on
+// repeated explanations of the same lineage (the answering-under-updates
+// motivation: re-explaining after unrelated changes should reuse circuits).
+func BenchmarkCompileCache(b *testing.B) {
+	f := hardCNF(b)
+	b.Run("cache=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache=on", func(b *testing.B) {
+		cache := dnnf.NewCompileCache(4)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -27,8 +29,13 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		timeout = flag.Duration("timeout", 2500*time.Millisecond, "exact-computation budget per output tuple")
 		maxTup  = flag.Int("maxtuples", 200, "max output tuples per query (0 = unbounded)")
+		workers = flag.Int("workers", 0, "per-tuple Algorithm 1 fan-out (0 = GOMAXPROCS, 1 = serial)")
+		cacheSz = flag.Int("cache", 0, "compiled-circuit cache capacity per suite (0 = disabled)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	want := map[string]bool{}
 	if *only == "" {
@@ -46,10 +53,12 @@ func main() {
 	opts.IMDB = opts.IMDB.Scaled(*scale)
 	opts.Timeout = *timeout
 	opts.MaxTuplesPerQuery = *maxTup
+	opts.Workers = *workers
+	opts.CacheSize = *cacheSz
 
 	fmt.Printf("== Corpus: TPC-H + IMDB (scale %.2f, timeout %v) ==\n", *scale, *timeout)
 	start := time.Now()
-	corpus, err := bench.RunCorpus(opts)
+	corpus, err := bench.RunCorpus(ctx, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
@@ -84,9 +93,9 @@ func main() {
 	}
 	if want["fig5"] {
 		section("Figure 5 — Algorithm 1 time vs lineitem scale")
-		points, err := bench.RunScaling(opts.TPCH, []float64{0.25, 0.5, 0.75, 1.0},
+		points, err := bench.RunScaling(ctx, opts.TPCH, []float64{0.25, 0.5, 0.75, 1.0},
 			[]string{"q3", "q10", "q9", "q19"}, 2,
-			core.PipelineOptions{CompileTimeout: *timeout, ShapleyTimeout: *timeout})
+			core.PipelineOptions{CompileTimeout: *timeout, ShapleyTimeout: *timeout, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)

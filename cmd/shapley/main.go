@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro"
@@ -35,8 +37,15 @@ func main() {
 		top     = flag.Int("top", 10, "how many facts to print per output tuple")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor for tpch/imdb")
 		method  = flag.String("method", "hybrid", "hybrid (exact with proxy fallback) or proxy (force CNF Proxy via zero budget)")
+		workers = flag.Int("workers", 0, "pipeline concurrency (0 = GOMAXPROCS, 1 = serial)")
+		cache   = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, negative = disabled)")
 	)
 	flag.Parse()
+
+	// Interrupt cancels the in-flight explanation instead of killing the
+	// process mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	d, q, err := load(*dataset, *queryNm, *queryTx, *scale)
 	if err != nil {
@@ -44,7 +53,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := repro.Options{Timeout: *timeout}
+	opts := repro.Options{Timeout: *timeout, Workers: *workers, CacheSize: *cache}
 	if *method == "proxy" {
 		// A 1-node budget forces the proxy path without waiting.
 		opts.MaxNodes = 1
@@ -52,7 +61,7 @@ func main() {
 	}
 
 	start := time.Now()
-	explanations, err := repro.Explain(d, q, opts)
+	explanations, err := repro.Explain(ctx, d, q, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shapley:", err)
 		os.Exit(1)

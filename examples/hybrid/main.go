@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/circuit"
@@ -50,14 +52,23 @@ func main() {
 	for _, timeout := range []time.Duration{
 		500 * time.Microsecond, 5 * time.Millisecond, 60 * time.Second,
 	} {
-		res := core.Hybrid(elin, endo, core.HybridOptions{Timeout: timeout})
+		res, err := core.Hybrid(context.Background(), elin, endo, core.HybridOptions{Timeout: timeout})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("timeout %-10v → method=%-9v elapsed=%-12v top facts: %v\n",
 			timeout, res.Method, res.Elapsed.Round(time.Microsecond), res.Ranking[:4])
 	}
 
 	// Quality check: proxy ranking vs exact ranking on this instance.
-	exact := core.Hybrid(elin, endo, core.HybridOptions{})
-	proxy := core.Hybrid(elin, endo, core.HybridOptions{Timeout: time.Nanosecond, MaxNodes: 1})
+	exact, err := core.Hybrid(context.Background(), elin, endo, core.HybridOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxy, err := core.Hybrid(context.Background(), elin, endo, core.HybridOptions{Timeout: time.Nanosecond, MaxNodes: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nexact top-4:  %v\n", exact.Ranking[:4])
 	fmt.Printf("proxy top-4:  %v\n", proxy.Ranking[:4])
 	same := 0

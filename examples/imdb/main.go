@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("database: %d facts (%d endogenous)\n\n", d.NumFacts(), d.NumEndogenous())
 
 	start := time.Now()
-	explanations, err := repro.Explain(d, q, repro.Options{Timeout: 2500 * time.Millisecond})
+	explanations, err := repro.Explain(context.Background(), d, q, repro.Options{Timeout: 2500 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}

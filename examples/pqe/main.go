@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,14 +25,14 @@ func main() {
 	q := flights.Query()
 
 	start := time.Now()
-	viaPQE, err := repro.ShapleyViaProbabilisticDB(d, q)
+	viaPQE, err := repro.ShapleyViaProbabilisticDB(context.Background(), d, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	pqeTime := time.Since(start)
 
 	start = time.Now()
-	exact, err := repro.ExplainBoolean(d, q, repro.Options{})
+	exact, err := repro.ExplainBoolean(context.Background(), d, q, repro.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

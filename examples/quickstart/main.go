@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	exp, err := repro.ExplainBoolean(d, q, repro.Options{})
+	exp, err := repro.ExplainBoolean(context.Background(), d, q, repro.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -30,12 +31,12 @@ func main() {
 	fmt.Println("TPC-H Q18 (large-volume customers), fact-level explanations")
 	fmt.Printf("database: %d facts (%d endogenous)\n\n", d.NumFacts(), d.NumEndogenous())
 
-	exact, err := repro.Explain(d, q, repro.Options{Timeout: 5 * time.Second})
+	exact, err := repro.Explain(context.Background(), d, q, repro.Options{Timeout: 5 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Force the proxy path on the same query for comparison.
-	proxy, err := repro.Explain(d, q, repro.Options{Timeout: time.Millisecond, MaxNodes: 1})
+	proxy, err := repro.Explain(context.Background(), d, q, repro.Options{Timeout: time.Millisecond, MaxNodes: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math/big"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ var (
 func runSmallCorpus(t *testing.T) *Corpus {
 	t.Helper()
 	corpusOnce.Do(func() {
-		corpusVal, corpusErr = RunCorpus(smallOptions())
+		corpusVal, corpusErr = RunCorpus(context.Background(), smallOptions())
 	})
 	if corpusErr != nil {
 		t.Fatal(corpusErr)
@@ -158,7 +159,7 @@ func TestFigure8Monotone(t *testing.T) {
 
 func TestRunScaling(t *testing.T) {
 	base := tpch.Config{Customers: 8, OrdersPerCustomer: 2, LinesPerOrder: 3, Parts: 12, Suppliers: 5, Seed: 42}
-	points, err := RunScaling(base, []float64{0.5, 1.0}, []string{"q10", "q18"}, 2,
+	points, err := RunScaling(context.Background(), base, []float64{0.5, 1.0}, []string{"q10", "q18"}, 2,
 		core.PipelineOptions{CompileTimeout: 2 * time.Second, ShapleyTimeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)

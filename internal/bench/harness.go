@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/dnnf"
 	"repro/internal/engine"
 	"repro/internal/imdb"
 	"repro/internal/query"
@@ -39,6 +41,14 @@ type Options struct {
 	// MaxTuplesPerQuery truncates very large query outputs to keep harness
 	// runs bounded; zero means no truncation.
 	MaxTuplesPerQuery int
+	// Workers fans Algorithm 1's per-fact loop out across goroutines for
+	// each tuple (≤ 0 = GOMAXPROCS, 1 = serial). Tuples themselves run
+	// serially so per-tuple timings stay comparable to the paper's.
+	Workers int
+	// CacheSize sizes a cross-call d-DNNF compilation cache shared by the
+	// whole corpus run; zero disables it (every tuple compiles afresh, the
+	// configuration the paper's tables measure).
+	CacheSize int
 }
 
 // DefaultOptions returns a laptop-scale configuration.
@@ -128,7 +138,7 @@ func (c *Corpus) SuccessfulTuples() []*TupleResult {
 }
 
 // RunCorpus generates both databases and runs both query suites.
-func RunCorpus(opts Options) (*Corpus, error) {
+func RunCorpus(ctx context.Context, opts Options) (*Corpus, error) {
 	c := &Corpus{Opts: opts}
 
 	tpchDB := tpch.Generate(opts.TPCH)
@@ -136,7 +146,7 @@ func RunCorpus(opts Options) (*Corpus, error) {
 	for _, q := range tpch.Queries() {
 		tq = append(tq, NamedQuery{Name: q.Name, Q: q.Q})
 	}
-	runs, err := RunSuite("TPC-H", tpchDB, tq, opts)
+	runs, err := RunSuite(ctx, "TPC-H", tpchDB, tq, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +157,7 @@ func RunCorpus(opts Options) (*Corpus, error) {
 	for _, q := range imdb.Queries() {
 		iq = append(iq, NamedQuery{Name: q.Name, Q: q.Q})
 	}
-	runs, err = RunSuite("IMDB", imdbDB, iq, opts)
+	runs, err = RunSuite(ctx, "IMDB", imdbDB, iq, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -157,10 +167,14 @@ func RunCorpus(opts Options) (*Corpus, error) {
 
 // RunSuite evaluates every query of a suite over the database and runs the
 // exact pipeline on every output tuple.
-func RunSuite(dataset string, d *db.Database, queries []NamedQuery, opts Options) ([]*QueryRun, error) {
+func RunSuite(ctx context.Context, dataset string, d *db.Database, queries []NamedQuery, opts Options) ([]*QueryRun, error) {
 	endo := make([]db.FactID, 0, d.NumEndogenous())
 	for _, f := range d.EndogenousFacts() {
 		endo = append(endo, f.ID)
+	}
+	var cache *dnnf.CompileCache
+	if opts.CacheSize > 0 {
+		cache = dnnf.NewCompileCache(opts.CacheSize)
 	}
 	var out []*QueryRun
 	for _, nq := range queries {
@@ -176,7 +190,10 @@ func RunSuite(dataset string, d *db.Database, queries []NamedQuery, opts Options
 			answers = answers[:opts.MaxTuplesPerQuery]
 		}
 		for _, a := range answers {
-			run.Tuples = append(run.Tuples, runTuple(dataset, nq.Name, a, endoForLineage(a.Lineage, endo), opts))
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			run.Tuples = append(run.Tuples, runTuple(ctx, dataset, nq.Name, a, endoForLineage(a.Lineage, endo), opts, cache))
 		}
 		out = append(out, run)
 	}
@@ -203,7 +220,7 @@ func endoForLineage(lineage *circuit.Node, endo []db.FactID) []db.FactID {
 	return out
 }
 
-func runTuple(dataset, qname string, a engine.Answer, endo []db.FactID, opts Options) *TupleResult {
+func runTuple(ctx context.Context, dataset, qname string, a engine.Answer, endo []db.FactID, opts Options, cache *dnnf.CompileCache) *TupleResult {
 	tr := &TupleResult{
 		Dataset:  dataset,
 		Query:    qname,
@@ -212,10 +229,12 @@ func runTuple(dataset, qname string, a engine.Answer, endo []db.FactID, opts Opt
 		Endo:     endo,
 		NumFacts: len(circuit.Vars(a.Lineage)),
 	}
-	res, err := core.ExplainCircuit(a.Lineage, endo, core.PipelineOptions{
+	res, err := core.ExplainCircuit(ctx, a.Lineage, endo, core.PipelineOptions{
 		CompileTimeout:  opts.Timeout,
 		CompileMaxNodes: opts.MaxNodes,
 		ShapleyTimeout:  opts.Timeout,
+		Workers:         opts.Workers,
+		Cache:           cache,
 	})
 	tr.CNF = res.CNF
 	tr.NumClauses = res.NumClauses

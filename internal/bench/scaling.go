@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/circuit"
@@ -16,7 +17,7 @@ import (
 // smaller scales are prefixes in distribution), the named queries are
 // evaluated, and the exact pipeline is timed on the first few output tuples
 // of each query.
-func RunScaling(base tpch.Config, scales []float64, queryNames []string,
+func RunScaling(ctx context.Context, base tpch.Config, scales []float64, queryNames []string,
 	tuplesPerQuery int, opts core.PipelineOptions) ([]ScalingPoint, error) {
 
 	wanted := make(map[string]bool, len(queryNames))
@@ -45,9 +46,12 @@ func RunScaling(base tpch.Config, scales []float64, queryNames []string,
 				answers = answers[:tuplesPerQuery]
 			}
 			for _, a := range answers {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				tupleEndo := endoForLineage(a.Lineage, endo)
 				t0 := time.Now()
-				res, err := core.ExplainCircuit(a.Lineage, tupleEndo, opts)
+				res, err := core.ExplainCircuit(ctx, a.Lineage, tupleEndo, opts)
 				elapsed := time.Since(t0)
 				p := ScalingPoint{
 					Query:     nq.Name,

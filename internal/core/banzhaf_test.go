@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -22,7 +23,7 @@ func TestBanzhafAgainstNaive(t *testing.T) {
 		for i := range endo {
 			endo[i] = db.FactID(i + 1)
 		}
-		res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+		res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func TestBanzhafAgainstNaive(t *testing.T) {
 // on the ranking even though the values differ.
 func TestBanzhafFlights(t *testing.T) {
 	elin, endo, fs := flightsELin(t)
-	res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+	res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestBanzhafDictator(t *testing.T) {
 	cb := circuit.NewBuilder()
 	elin := cb.Variable(1)
 	endo := []db.FactID{1, 2, 3}
-	res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+	res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestBanzhafDictator(t *testing.T) {
 
 func TestBanzhafEmpty(t *testing.T) {
 	b := circuit.NewBuilder()
-	res, err := ExplainCircuit(b.False(), nil, PipelineOptions{})
+	res, err := ExplainCircuit(context.Background(), b.False(), nil, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/db"
+	"repro/internal/dnnf"
 )
 
 // Method identifies which algorithm produced a hybrid result.
@@ -47,20 +49,28 @@ type HybridOptions struct {
 	Timeout time.Duration
 	// MaxNodes bounds the compiled d-DNNF size (the out-of-memory analogue).
 	MaxNodes int
+	// Workers fans Algorithm 1 out across goroutines (≤ 0 = GOMAXPROCS).
+	Workers int
+	// Cache is an optional cross-call d-DNNF compilation cache.
+	Cache *dnnf.CompileCache
 }
 
 // Hybrid runs the exact computation under a time budget and falls back to
 // CNF Proxy on timeout or memory exhaustion: first run the exact pipeline
 // with timeout t; if it fails, transform the provenance to CNF and rank the
-// facts by their proxy values.
-func Hybrid(elin *circuit.Node, endo []db.FactID, opts HybridOptions) *HybridResult {
+// facts by their proxy values. A non-nil error is returned only when ctx
+// itself is cancelled — budget exhaustion is what the proxy fallback is for,
+// but a caller that gave up wants neither answer.
+func Hybrid(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts HybridOptions) (*HybridResult, error) {
 	start := time.Now()
 	popts := PipelineOptions{
 		CompileTimeout:  opts.Timeout,
 		ShapleyTimeout:  opts.Timeout,
 		CompileMaxNodes: opts.MaxNodes,
+		Workers:         opts.Workers,
+		Cache:           opts.Cache,
 	}
-	res, err := ExplainCircuit(elin, endo, popts)
+	res, err := ExplainCircuit(ctx, elin, endo, popts)
 	if err == nil {
 		return &HybridResult{
 			Method:  MethodExact,
@@ -68,7 +78,10 @@ func Hybrid(elin *circuit.Node, endo []db.FactID, opts HybridOptions) *HybridRes
 			Ranking: res.Values.Ranking(),
 			Exact:   res,
 			Elapsed: time.Since(start),
-		}
+		}, nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, ctxErr
 	}
 	// Exact failed within budget: fall back to CNF Proxy. The Tseytin CNF
 	// was already produced by the pipeline (it never times out: it is linear
@@ -84,5 +97,5 @@ func Hybrid(elin *circuit.Node, endo []db.FactID, opts HybridOptions) *HybridRes
 		Ranking: proxy.Ranking(),
 		Exact:   res,
 		Elapsed: time.Since(start),
-	}
+	}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -9,7 +10,10 @@ import (
 
 func TestHybridExactPath(t *testing.T) {
 	elin, endo, fs := flightsELin(t)
-	res := Hybrid(elin, endo, HybridOptions{Timeout: 10 * time.Second})
+	res, err := Hybrid(context.Background(), elin, endo, HybridOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Method != MethodExact {
 		t.Fatalf("method = %v, want exact", res.Method)
 	}
@@ -29,7 +33,10 @@ func TestHybridFallsBackToProxy(t *testing.T) {
 	elin, endo, fs := flightsELin(t)
 	// A node budget of 1 forces the compiler to fail immediately,
 	// exercising the out-of-memory fallback path.
-	res := Hybrid(elin, endo, HybridOptions{Timeout: 10 * time.Second, MaxNodes: 1})
+	res, err := Hybrid(context.Background(), elin, endo, HybridOptions{Timeout: 10 * time.Second, MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Method != MethodProxy {
 		t.Fatalf("method = %v, want proxy", res.Method)
 	}
@@ -65,7 +72,7 @@ func TestPipelineShapleyTimeout(t *testing.T) {
 	// A zero compile budget with a negative-duration Shapley deadline: use
 	// an absurdly small positive timeout instead to trigger the per-fact
 	// deadline check deterministically.
-	_, err := ExplainCircuit(elin, endo, PipelineOptions{ShapleyTimeout: time.Nanosecond})
+	_, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{ShapleyTimeout: time.Nanosecond})
 	if err != ErrShapleyTimeout {
 		t.Fatalf("err = %v, want ErrShapleyTimeout", err)
 	}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"errors"
-	"math/big"
 	"time"
 
 	"repro/internal/circuit"
@@ -29,6 +29,12 @@ type PipelineOptions struct {
 	Order dnnf.VarOrder
 	// DisableCache turns off the compiler's component cache (ablation).
 	DisableCache bool
+	// Workers is the per-fact fan-out of Algorithm 1 (≤ 0 = GOMAXPROCS,
+	// 1 = serial). Results are identical for every setting.
+	Workers int
+	// Cache, when non-nil, is a cross-call d-DNNF compilation cache shared
+	// between pipeline invocations (and goroutines).
+	Cache *dnnf.CompileCache
 }
 
 // PipelineResult carries the artifacts and stage timings of one end-to-end
@@ -56,9 +62,14 @@ type PipelineResult struct {
 // auxiliary-variable elimination (Lemma 4.6), and Algorithm 1 for every
 // endogenous fact. It returns dnnf.ErrTimeout or dnnf.ErrNodeBudget when
 // compilation exceeds its budget and ErrShapleyTimeout when evaluation does;
-// in those cases the hybrid strategy falls back to CNF Proxy.
-func ExplainCircuit(elin *circuit.Node, endo []db.FactID, opts PipelineOptions) (*PipelineResult, error) {
+// in those cases the hybrid strategy falls back to CNF Proxy. Cancelling ctx
+// aborts either stage and propagates the context's own error (never a budget
+// sentinel), so callers can distinguish "over budget" from "caller gave up".
+func ExplainCircuit(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts PipelineOptions) (*PipelineResult, error) {
 	res := &PipelineResult{NumFacts: len(circuit.Vars(elin))}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	t0 := time.Now()
 	formula := cnf.TseytinReserving(elin, maxFactID(endo))
@@ -67,11 +78,12 @@ func ExplainCircuit(elin *circuit.Node, endo []db.FactID, opts PipelineOptions) 
 	res.NumClauses = formula.NumClauses()
 
 	t1 := time.Now()
-	compiled, stats, err := dnnf.Compile(formula, dnnf.Options{
+	compiled, stats, err := dnnf.Compile(ctx, formula, dnnf.Options{
 		Timeout:      opts.CompileTimeout,
 		MaxNodes:     opts.CompileMaxNodes,
 		DisableCache: opts.DisableCache,
 		Order:        opts.Order,
+		Cache:        opts.Cache,
 	})
 	res.CompileStats = stats
 	if err != nil {
@@ -82,10 +94,23 @@ func ExplainCircuit(elin *circuit.Node, endo []db.FactID, opts PipelineOptions) 
 	res.DNNF = reduced
 	res.DNNFSize = dnnf.Size(reduced)
 
+	// The Shapley stage's own budget is expressed as a context deadline
+	// layered over the caller's context: real cancellation rather than the
+	// former ad-hoc per-fact deadline checks.
+	sctx := ctx
+	if opts.ShapleyTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, opts.ShapleyTimeout)
+		defer cancel()
+	}
 	t2 := time.Now()
-	values, err := shapleyAllDeadline(reduced, endo, opts.ShapleyTimeout)
+	values, err := ShapleyAll(sctx, reduced, endo, opts.Workers)
 	res.ShapleyTime = time.Since(t2)
 	if err != nil {
+		if ctx.Err() == nil {
+			// The stage deadline fired, not the caller's context.
+			err = ErrShapleyTimeout
+		}
 		return res, err
 	}
 	res.Values = values
@@ -103,36 +128,4 @@ func maxFactID(endo []db.FactID) int {
 		}
 	}
 	return m
-}
-
-// shapleyAllDeadline is ShapleyAll with a per-fact deadline check.
-func shapleyAllDeadline(c *dnnf.Node, endo []db.FactID, timeout time.Duration) (Values, error) {
-	if timeout <= 0 {
-		return ShapleyAll(c, endo), nil
-	}
-	deadline := time.Now().Add(timeout)
-	out := make(Values, len(endo))
-	n := len(endo)
-	if n == 0 {
-		return out, nil
-	}
-	coefs := ShapleyCoefficients(n)
-	support := make(map[db.FactID]bool, len(c.Vars()))
-	for _, v := range c.Vars() {
-		support[db.FactID(v)] = true
-	}
-	b := dnnf.NewBuilder()
-	for _, f := range endo {
-		if !support[f] {
-			out[f] = new(big.Rat)
-			continue
-		}
-		if time.Now().After(deadline) {
-			return nil, ErrShapleyTimeout
-		}
-		gamma := conditionedCounts(b, c, int(f), true, n-1)
-		delta := conditionedCounts(b, c, int(f), false, n-1)
-		out[f] = weightedDifference(gamma, delta, coefs)
-	}
-	return out, nil
 }

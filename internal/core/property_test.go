@@ -5,6 +5,7 @@ package core
 // #SAT_k spectrum with plain model counting, and coefficient identities.
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -59,7 +60,7 @@ func TestQuickSATkSpectrumSums(t *testing.T) {
 		cb := circuit.NewBuilder()
 		elin := randomMonotoneCircuit(rng, cb, 2+rng.Intn(5), 3)
 		endo := endoOf(elin)
-		res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+		res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 		if err != nil {
 			return false
 		}
@@ -95,7 +96,7 @@ func TestQuickShapleyAxioms(t *testing.T) {
 		// Add one guaranteed null player beyond the support.
 		null := endo[len(endo)-1] + 1
 		endo = append(endo, null)
-		res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+		res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 		if err != nil {
 			return false
 		}
@@ -139,7 +140,7 @@ func TestQuickSymmetryAxiom(t *testing.T) {
 		}
 		elin := cb.Or(disjuncts...)
 		endo := endoOf(elin)
-		res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+		res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 		if err != nil {
 			return false
 		}
@@ -165,7 +166,7 @@ func TestQuickBanzhafShapleySignAgreement(t *testing.T) {
 		cb := circuit.NewBuilder()
 		elin := randomMonotoneCircuit(rng, cb, 2+rng.Intn(4), 3)
 		endo := endoOf(elin)
-		res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+		res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 		if err != nil {
 			return false
 		}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"sort"
 
 	"repro/internal/db"
 	"repro/internal/dnnf"
+	"repro/internal/parallel"
 )
 
 // Values maps endogenous fact IDs to their exact Shapley values.
@@ -22,11 +24,18 @@ func (v Values) Float() map[db.FactID]float64 {
 }
 
 // Sum returns Σ_f v[f]; by the efficiency axiom it equals
-// q(Dn ∪ Dx) − q(Dx) for a Boolean query game.
+// q(Dn ∪ Dx) − q(Dx) for a Boolean query game. Accumulation runs in
+// ascending fact-ID order, not Go's randomized map order, so repeated runs
+// perform the identical sequence of exact additions.
 func (v Values) Sum() *big.Rat {
+	ids := make([]db.FactID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	s := new(big.Rat)
-	for _, r := range v {
-		s.Add(s, r)
+	for _, id := range ids {
+		s.Add(s, v[id])
 	}
 	return s
 }
@@ -95,28 +104,53 @@ func ShapleyOfFact(c *dnnf.Node, endo []db.FactID, f db.FactID) *big.Rat {
 // endogenous lineage). Its cost is O(|C|·|Dn|²) per fact appearing in the
 // circuit; facts outside the support are zero by symmetry (they are null
 // players).
-func ShapleyAll(c *dnnf.Node, endo []db.FactID) Values {
+//
+// The per-fact computations are independent — each conditions the circuit
+// on its own fact and runs the #SAT_k dynamic program — so they fan out
+// across `workers` goroutines (≤ 0 means GOMAXPROCS, 1 forces the serial
+// path). Every worker owns a private dnnf.Builder; the shared inputs (the
+// circuit, the coefficients) are only read. Exact big.Rat arithmetic makes
+// the parallel result identical to the serial one. Cancellation of ctx is
+// checked between facts; on cancellation the context's error is returned.
+func ShapleyAll(ctx context.Context, c *dnnf.Node, endo []db.FactID, workers int) (Values, error) {
 	out := make(Values, len(endo))
 	n := len(endo)
 	if n == 0 {
-		return out
+		return out, nil
 	}
 	coefs := ShapleyCoefficients(n)
 	support := make(map[db.FactID]bool, len(c.Vars()))
 	for _, v := range c.Vars() {
 		support[db.FactID(v)] = true
 	}
-	b := dnnf.NewBuilder()
-	for _, f := range endo {
+	workers = parallel.Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	builders := make([]*dnnf.Builder, workers)
+	for i := range builders {
+		builders[i] = dnnf.NewBuilder()
+	}
+	vals := make([]*big.Rat, n)
+	err := parallel.ForEach(ctx, n, workers, func(worker, i int) error {
+		f := endo[i]
 		if !support[f] {
-			out[f] = new(big.Rat)
-			continue
+			vals[i] = new(big.Rat)
+			return nil
 		}
+		b := builders[worker]
 		gamma := conditionedCounts(b, c, int(f), true, n-1)
 		delta := conditionedCounts(b, c, int(f), false, n-1)
-		out[f] = weightedDifference(gamma, delta, coefs)
+		vals[i] = weightedDifference(gamma, delta, coefs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	for i, f := range endo {
+		out[f] = vals[i]
+	}
+	return out, nil
 }
 
 // conditionedCounts computes the #SAT_k vector of C[f→val], padded to a

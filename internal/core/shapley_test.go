@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -65,7 +66,7 @@ func flightsELin(t *testing.T) (*circuit.Node, []db.FactID, *flights.Facts) {
 // Algorithm 1.
 func TestFlightsExactValues(t *testing.T) {
 	elin, endo, fs := flightsELin(t)
-	res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+	res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestFlightsSubqueries(t *testing.T) {
 	for _, f := range d.EndogenousFacts() {
 		endo = append(endo, f.ID)
 	}
-	res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+	res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFlightsSubqueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res1, err := ExplainCircuit(elin1, endo, PipelineOptions{})
+	res1, err := ExplainCircuit(context.Background(), elin1, endo, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,10 @@ func TestFigure2HandBuiltCircuit(t *testing.T) {
 		t.Fatal(err)
 	}
 	endo := []db.FactID{1, 2, 3, 4, 5, 6, 7, 8}
-	v := ShapleyAll(q, endo)
+	v, err := ShapleyAll(context.Background(), q, endo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ratEq(t, v[1], 43, 105, "hand-built Shapley(a1)")
 	for i := db.FactID(2); i <= 5; i++ {
 		ratEq(t, v[i], 23, 210, "hand-built Shapley(a2..a5)")
@@ -172,7 +176,7 @@ func TestAlgorithm1AgainstNaive(t *testing.T) {
 		for i := range endo {
 			endo[i] = db.FactID(i + 1)
 		}
-		res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+		res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +213,7 @@ func TestEfficiencyAxiom(t *testing.T) {
 		for i := range endo {
 			endo[i] = db.FactID(i + 1)
 		}
-		res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+		res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +238,7 @@ func TestComputeAllSATkAgainstBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	for trial := 0; trial < 60; trial++ {
 		f := randomTestCNF(rng, 1+rng.Intn(5), 1+rng.Intn(6))
-		n, _, err := dnnf.Compile(f, dnnf.Options{})
+		n, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -278,7 +282,7 @@ func TestPadToUniverse(t *testing.T) {
 
 func TestShapleyOfFactMatchesShapleyAll(t *testing.T) {
 	elin, endo, _ := flightsELin(t)
-	res, err := ExplainCircuit(elin, endo, PipelineOptions{})
+	res, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +314,7 @@ func TestFloatSATkMatchesExactOnSmall(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	for trial := 0; trial < 30; trial++ {
 		f := randomTestCNF(rng, 1+rng.Intn(5), 1+rng.Intn(5))
-		n, _, err := dnnf.Compile(f, dnnf.Options{})
+		n, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

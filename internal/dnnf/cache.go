@@ -1,0 +1,175 @@
+package dnnf
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cnf"
+)
+
+// CompileCache is a bounded, signature-keyed, cross-call LRU cache of
+// compiled d-DNNF roots. Where the per-compilation component cache (see
+// compiler.cache) only lives for one Compile call, a CompileCache is shared
+// across calls — and across goroutines — so repeated explanations of shared
+// lineage (the same output tuple re-explained, or distinct tuples whose
+// provenance Tseytin-encodes to the same CNF) reuse the compiled circuit
+// instead of recompiling it from scratch.
+//
+// Keys are the canonical clause-set signature extended with the formula's
+// auxiliary-variable set, so two formulas with equal clauses but different
+// Tseytin bookkeeping never alias. Values are immutable node DAGs; sharing
+// them between concurrent readers is safe because Nodes are never mutated
+// after construction.
+type CompileCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	inflight map[string]*sync.WaitGroup
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	key  string
+	root *Node
+	// nodes is the builder allocation count of the original compilation —
+	// the same quantity Options.MaxNodes bounds — so budget checks on warm
+	// hits reproduce the cold outcome instead of measuring the (smaller)
+	// final DAG.
+	nodes int
+}
+
+// DefaultCompileCacheSize is the capacity used when a knob asks for "a
+// cache" without saying how big (CacheSize == 0 at the facade).
+const DefaultCompileCacheSize = 256
+
+// NewCompileCache returns an empty LRU cache holding at most capacity
+// compiled circuits; capacity ≤ 0 is treated as DefaultCompileCacheSize.
+func NewCompileCache(capacity int) *CompileCache {
+	if capacity <= 0 {
+		capacity = DefaultCompileCacheSize
+	}
+	return &CompileCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*sync.WaitGroup),
+	}
+}
+
+// Grow raises the cache capacity to at least capacity (it never shrinks a
+// live cache, so concurrent users keep their working sets).
+func (c *CompileCache) Grow(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if capacity > c.capacity {
+		c.capacity = capacity
+	}
+}
+
+// Len returns the number of cached circuits.
+func (c *CompileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *CompileCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *CompileCache) get(key string) (root *Node, nodes int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.root, e.nodes, true
+}
+
+func (c *CompileCache) put(key string, root *Node, nodes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.root, e.nodes = root, nodes
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, root: root, nodes: nodes})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// acquire implements single-flight: the first caller for a missing key
+// becomes the leader (leader == true) and must call release when done,
+// success or failure; concurrent callers get leader == false and a wait
+// function that blocks until the leader releases, after which they re-check
+// the cache (and, if the leader failed, contend to become the next leader).
+func (c *CompileCache) acquire(key string) (leader bool, wait func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wg, ok := c.inflight[key]; ok {
+		return false, wg.Wait
+	}
+	wg := new(sync.WaitGroup)
+	wg.Add(1)
+	c.inflight[key] = wg
+	return true, nil
+}
+
+func (c *CompileCache) release(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight[key].Done()
+	delete(c.inflight, key)
+}
+
+// formulaSignature renders a formula canonically for cross-call cache
+// lookups: the normalized clause-set signature (the same canonical form the
+// component cache uses), the compilation-affecting options (branching order
+// and component-cache ablation — a hit must return a circuit compiled under
+// the configuration the caller asked to measure), plus the
+// auxiliary-variable markers.
+func formulaSignature(clauses []cnf.Clause, f *cnf.Formula, opts Options) string {
+	var sb strings.Builder
+	sb.WriteString(cacheKey(clauses))
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(int(opts.Order)))
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatBool(opts.DisableCache))
+	sb.WriteByte('#')
+	// Aux variables are assigned densely above the reserved range by the
+	// Tseytin transformation; recording the boundary and count is enough to
+	// distinguish bookkeeping without sorting the whole set.
+	minAux, maxAux, numAux := 0, 0, 0
+	for v := range f.Aux {
+		if numAux == 0 || v < minAux {
+			minAux = v
+		}
+		if v > maxAux {
+			maxAux = v
+		}
+		numAux++
+	}
+	sb.WriteString(strconv.Itoa(minAux))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(maxAux))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(numAux))
+	return sb.String()
+}

@@ -1,0 +1,215 @@
+package dnnf
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// chainFormula returns a small satisfiable CNF parameterized by k so tests
+// can mint distinct formulas: (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (xk).
+func chainFormula(k int) *cnf.Formula {
+	return &cnf.Formula{
+		Clauses: []cnf.Clause{
+			{cnf.Lit(1), cnf.Lit(2)},
+			{cnf.Lit(-1), cnf.Lit(3)},
+			{cnf.Lit(k)},
+		},
+		Aux:    map[int]bool{},
+		MaxVar: k,
+	}
+}
+
+func TestCompileCacheHitReturnsSameCircuit(t *testing.T) {
+	cache := NewCompileCache(4)
+	f := chainFormula(3)
+	first, stats1, err := Compile(context.Background(), f, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.CrossCallHit {
+		t.Fatal("first compilation reported a cross-call hit")
+	}
+	second, stats2, err := Compile(context.Background(), f, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.CrossCallHit {
+		t.Fatal("second compilation missed the cache")
+	}
+	if first != second {
+		t.Error("cache hit returned a different root node")
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCompileCacheDistinguishesAuxBookkeeping(t *testing.T) {
+	cache := NewCompileCache(4)
+	plain := chainFormula(3)
+	marked := chainFormula(3)
+	marked.Aux = map[int]bool{3: true}
+	if _, _, err := Compile(context.Background(), plain, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := Compile(context.Background(), marked, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CrossCallHit {
+		t.Error("formulas with different Aux sets aliased in the cache")
+	}
+}
+
+func TestCompileCacheLRUEviction(t *testing.T) {
+	cache := NewCompileCache(2)
+	ctx := context.Background()
+	a, b, c := chainFormula(1), chainFormula(2), chainFormula(3)
+	for _, f := range []*cnf.Formula{a, b, c} { // c evicts a
+		if _, _, err := Compile(ctx, f, Options{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+	if _, stats, _ := Compile(ctx, a, Options{Cache: cache}); stats.CrossCallHit {
+		t.Error("evicted entry still served")
+	}
+	if _, stats, _ := Compile(ctx, c, Options{Cache: cache}); !stats.CrossCallHit {
+		t.Error("recent entry was evicted")
+	}
+}
+
+func TestCompileCacheHitRespectsNodeBudget(t *testing.T) {
+	cache := NewCompileCache(4)
+	f := chainFormula(3)
+	if _, _, err := Compile(context.Background(), f, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// The cached circuit has more than one node, so a 1-node budget must
+	// fail exactly as a cold compilation would.
+	if _, _, err := Compile(context.Background(), f, Options{Cache: cache, MaxNodes: 1}); err != ErrNodeBudget {
+		t.Fatalf("err = %v, want ErrNodeBudget", err)
+	}
+}
+
+func TestCompileCacheConcurrentUse(t *testing.T) {
+	cache := NewCompileCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := chainFormula(1 + (g+i)%12) // overlap across goroutines
+				if _, _, err := Compile(context.Background(), f, Options{Cache: cache}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Len() > 8 {
+		t.Errorf("cache grew past capacity: %d", cache.Len())
+	}
+}
+
+func TestCompileCacheGrow(t *testing.T) {
+	cache := NewCompileCache(1)
+	cache.Grow(3)
+	ctx := context.Background()
+	for k := 1; k <= 3; k++ {
+		if _, _, err := Compile(ctx, chainFormula(k), Options{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 3 {
+		t.Errorf("grown cache holds %d entries, want 3", cache.Len())
+	}
+	cache.Grow(2) // never shrinks
+	if cache.Len() != 3 {
+		t.Errorf("Grow shrank the cache to %d", cache.Len())
+	}
+}
+
+func TestCompileCachedResultMatchesCold(t *testing.T) {
+	cache := NewCompileCache(4)
+	ctx := context.Background()
+	for k := 1; k <= 4; k++ {
+		f := chainFormula(k)
+		cold, _, err := Compile(ctx, f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Compile(ctx, f, Options{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+		warm, _, err := Compile(ctx, f, Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars := f.Vars()
+		if got, want := CountModels(warm, vars), CountModels(cold, vars); got.Cmp(want) != 0 {
+			t.Errorf("k=%s: cached model count %v, cold %v", strconv.Itoa(k), got, want)
+		}
+	}
+}
+
+func TestCompileCacheKeyedByCompilationConfig(t *testing.T) {
+	cache := NewCompileCache(8)
+	ctx := context.Background()
+	f := chainFormula(3)
+	if _, _, err := Compile(ctx, f, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := Compile(ctx, f, Options{Cache: cache, Order: OrderLexicographic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CrossCallHit {
+		t.Error("lexicographic compilation served a most-frequent-order circuit")
+	}
+	_, stats, err = Compile(ctx, f, Options{Cache: cache, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CrossCallHit {
+		t.Error("component-cache ablation served a cached-config circuit")
+	}
+}
+
+// TestCompileCacheSingleFlight floods one formula from many goroutines and
+// checks that only one of them did the compilation work (the rest report
+// cross-call hits), so concurrent duplicates pay for one compile.
+func TestCompileCacheSingleFlight(t *testing.T) {
+	cache := NewCompileCache(4)
+	f := chainFormula(3)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var cold atomic.Int32
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, stats, err := Compile(context.Background(), f, Options{Cache: cache})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !stats.CrossCallHit {
+				cold.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := cold.Load(); n != 1 {
+		t.Errorf("%d goroutines compiled cold, want exactly 1", n)
+	}
+}

@@ -1,6 +1,7 @@
 package dnnf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -43,6 +44,10 @@ type Options struct {
 	DisableCache bool
 	// Order selects the branching heuristic.
 	Order VarOrder
+	// Cache, when non-nil, is a cross-call LRU consulted before compiling
+	// and updated after: repeated compilations of the same formula return
+	// the previously compiled circuit. Safe for concurrent use.
+	Cache *CompileCache
 }
 
 // Stats reports compilation effort.
@@ -54,15 +59,19 @@ type Stats struct {
 	Components   int
 	Nodes        int
 	Elapsed      time.Duration
+	// CrossCallHit reports that the whole compilation was answered from a
+	// cross-call CompileCache, in which case the effort counters are zero.
+	CrossCallHit bool
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("decisions=%d props=%d cacheHits=%d cacheMisses=%d components=%d nodes=%d elapsed=%v",
-		s.Decisions, s.Propagations, s.CacheHits, s.CacheMisses, s.Components, s.Nodes, s.Elapsed)
+	return fmt.Sprintf("decisions=%d props=%d cacheHits=%d cacheMisses=%d components=%d nodes=%d crossHit=%v elapsed=%v",
+		s.Decisions, s.Propagations, s.CacheHits, s.CacheMisses, s.Components, s.Nodes, s.CrossCallHit, s.Elapsed)
 }
 
 // compiler carries the mutable compilation state.
 type compiler struct {
+	ctx      context.Context
 	b        *Builder
 	opts     Options
 	cache    map[string]*Node
@@ -75,10 +84,13 @@ type compiler struct {
 // exhaustive DPLL with unit propagation, connected-component decomposition
 // (yielding decomposable ∧-gates), Shannon decisions (yielding deterministic
 // ∨-gates), and component caching — the classic construction behind c2d and
-// dsharp.
-func Compile(f *cnf.Formula, opts Options) (*Node, Stats, error) {
+// dsharp. The context carries external cancellation (distinct from
+// Options.Timeout, which is this compilation's own budget and yields
+// ErrTimeout); ctx errors are returned as-is.
+func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, error) {
 	start := time.Now()
 	c := &compiler{
+		ctx:   ctx,
 		b:     NewBuilder(),
 		opts:  opts,
 		cache: make(map[string]*Node),
@@ -97,11 +109,43 @@ func Compile(f *cnf.Formula, opts Options) (*Node, Stats, error) {
 		}
 		clauses = append(clauses, norm)
 	}
+	var signature string
+	if opts.Cache != nil {
+		signature = formulaSignature(clauses, f, opts)
+		// Single-flight loop: serve a hit, or become the leader and
+		// compile, or wait for the in-flight leader and re-check. Waiters
+		// of a failed leader contend to lead the next round, so duplicate
+		// formulas compiled concurrently still pay for one compilation.
+		for {
+			if root, nodes, ok := opts.Cache.get(signature); ok {
+				if opts.MaxNodes > 0 && nodes > opts.MaxNodes {
+					// The node budget models memory exhaustion; comparing
+					// against the original compilation's allocation count
+					// makes a warm hit fail exactly where a cold compile
+					// would, independent of cache warmth.
+					return nil, c.stats, ErrNodeBudget
+				}
+				c.stats.CrossCallHit = true
+				c.stats.Nodes = nodes
+				c.stats.Elapsed = time.Since(start)
+				return root, c.stats, nil
+			}
+			leader, wait := opts.Cache.acquire(signature)
+			if leader {
+				defer opts.Cache.release(signature)
+				break
+			}
+			wait()
+		}
+	}
 	root, err := c.compile(clauses)
 	c.stats.Elapsed = time.Since(start)
 	c.stats.Nodes = c.b.NumNodes()
 	if err != nil {
 		return nil, c.stats, err
+	}
+	if opts.Cache != nil {
+		opts.Cache.put(signature, root, c.stats.Nodes)
 	}
 	return root, c.stats, nil
 }
@@ -134,8 +178,13 @@ func normalizeClause(cl cnf.Clause) (cnf.Clause, bool) {
 
 func (c *compiler) checkBudget() error {
 	c.steps++
-	if c.steps%64 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
-		return ErrTimeout
+	if c.steps%64 == 0 {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+			return ErrTimeout
+		}
 	}
 	if c.opts.MaxNodes > 0 && c.b.NumNodes() > c.opts.MaxNodes {
 		return ErrNodeBudget

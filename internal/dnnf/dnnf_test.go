@@ -1,6 +1,7 @@
 package dnnf
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -110,7 +111,7 @@ func TestCompileAgainstBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 120; trial++ {
 		f := randomCNF(rng, 1+rng.Intn(6), rng.Intn(8))
-		n, stats, err := Compile(f, Options{})
+		n, stats, err := Compile(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v (%v)", trial, err, stats)
 		}
@@ -138,7 +139,7 @@ func TestCompileAgainstBruteForce(t *testing.T) {
 
 func TestCompileUnsat(t *testing.T) {
 	f := &cnf.Formula{Clauses: []cnf.Clause{{1}, {-1}}, Aux: map[int]bool{}, MaxVar: 1}
-	n, _, err := Compile(f, Options{})
+	n, _, err := Compile(context.Background(), f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestCompileUnsat(t *testing.T) {
 
 func TestCompileEmptyAndTautology(t *testing.T) {
 	empty := &cnf.Formula{Aux: map[int]bool{}}
-	n, _, err := Compile(empty, Options{})
+	n, _, err := Compile(context.Background(), empty, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestCompileEmptyAndTautology(t *testing.T) {
 		t.Errorf("empty CNF compiled to %v, want true", n.Kind)
 	}
 	taut := &cnf.Formula{Clauses: []cnf.Clause{{1, -1}}, Aux: map[int]bool{}, MaxVar: 1}
-	n, _, err = Compile(taut, Options{})
+	n, _, err = Compile(context.Background(), taut, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestCompileLexicographicOrder(t *testing.T) {
 		f := randomCNF(rng, 1+rng.Intn(5), rng.Intn(6))
 		universe := f.Vars()
 		want := bruteCount(f, universe)
-		n, _, err := Compile(f, Options{Order: OrderLexicographic})
+		n, _, err := Compile(context.Background(), f, Options{Order: OrderLexicographic})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,11 +188,11 @@ func TestCompileWithoutCacheMatches(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		f := randomCNF(rng, 1+rng.Intn(5), rng.Intn(6))
 		universe := f.Vars()
-		a, _, err := Compile(f, Options{})
+		a, _, err := Compile(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := Compile(f, Options{DisableCache: true})
+		b, _, err := Compile(context.Background(), f, Options{DisableCache: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func TestCompileNodeBudget(t *testing.T) {
 	// MaxNodes 1 is below even the builder's two constant nodes, so any
 	// nonempty compilation must report budget exhaustion.
 	f := &cnf.Formula{Clauses: []cnf.Clause{{1, 2}, {-1, 2}}, Aux: map[int]bool{}, MaxVar: 2}
-	_, _, err := Compile(f, Options{MaxNodes: 1})
+	_, _, err := Compile(context.Background(), f, Options{MaxNodes: 1})
 	if err != ErrNodeBudget {
 		t.Errorf("err = %v, want ErrNodeBudget", err)
 	}
@@ -216,7 +217,7 @@ func TestConditionPreservesSemantics(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	for trial := 0; trial < 40; trial++ {
 		f := randomCNF(rng, 1+rng.Intn(5), rng.Intn(6))
-		n, _, err := Compile(f, Options{})
+		n, _, err := Compile(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +254,7 @@ func TestEliminateAux(t *testing.T) {
 		c := randomBoolCircuit(rng, cb, 1+rng.Intn(5), 3)
 		orig := circuit.Vars(c)
 		f := cnf.Tseytin(c)
-		compiled, _, err := Compile(f, Options{})
+		compiled, _, err := Compile(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package dnnf
 
 import (
 	"bytes"
+	"context"
 	"math/big"
 	"math/rand"
 	"strings"
@@ -12,7 +13,7 @@ func TestNNFRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(79))
 	for trial := 0; trial < 60; trial++ {
 		f := randomCNF(rng, 1+rng.Intn(6), rng.Intn(8))
-		n, _, err := Compile(f, Options{})
+		n, _, err := Compile(context.Background(), f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package pqe
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -39,7 +40,7 @@ type Oracle struct {
 
 // NewOracle evaluates the Boolean query, compiles its full lineage (all
 // facts as variables), and returns the reusable oracle.
-func NewOracle(d *db.Database, q *query.UCQ, opts dnnf.Options) (*Oracle, error) {
+func NewOracle(ctx context.Context, d *db.Database, q *query.UCQ, opts dnnf.Options) (*Oracle, error) {
 	if !q.IsBoolean() {
 		return nil, fmt.Errorf("pqe: query has arity %d, want Boolean", q.Arity())
 	}
@@ -49,7 +50,7 @@ func NewOracle(d *db.Database, q *query.UCQ, opts dnnf.Options) (*Oracle, error)
 		return nil, err
 	}
 	formula := cnf.TseytinReserving(lin, d.NumFacts())
-	compiled, _, err := dnnf.Compile(formula, opts)
+	compiled, _, err := dnnf.Compile(ctx, formula, opts)
 	if err != nil {
 		return nil, fmt.Errorf("pqe: lineage compilation: %w", err)
 	}
@@ -133,8 +134,8 @@ func (o *Oracle) CountSlices(free []db.FactID, forcedOn, forcedOff map[db.FactID
 //
 // It is asymptotically slower than Algorithm 1 (O(n²) oracle calls) but
 // depends only on the PQE interface, which is the point of the reduction.
-func ShapleyViaPQE(d *db.Database, q *query.UCQ, opts dnnf.Options) (core.Values, error) {
-	oracle, err := NewOracle(d, q, opts)
+func ShapleyViaPQE(ctx context.Context, d *db.Database, q *query.UCQ, opts dnnf.Options) (core.Values, error) {
+	oracle, err := NewOracle(ctx, d, q, opts)
 	if err != nil {
 		return nil, err
 	}

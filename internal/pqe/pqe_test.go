@@ -1,6 +1,7 @@
 package pqe
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -19,7 +20,7 @@ import (
 func TestProbabilityAgainstEnumeration(t *testing.T) {
 	d, fs := flights.Build()
 	q := flights.Query()
-	oracle, err := NewOracle(d, q, dnnf.Options{})
+	oracle, err := NewOracle(context.Background(), d, q, dnnf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestProbabilityAgainstEnumeration(t *testing.T) {
 func TestCountSlicesAgainstNaive(t *testing.T) {
 	d, _ := flights.Build()
 	q := flights.Query()
-	oracle, err := NewOracle(d, q, dnnf.Options{})
+	oracle, err := NewOracle(context.Background(), d, q, dnnf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestShapleyViaPQEMatchesAlgorithm1(t *testing.T) {
 	d, fs := flights.Build()
 	q := flights.Query()
 
-	viaPQE, err := ShapleyViaPQE(d, q, dnnf.Options{})
+	viaPQE, err := ShapleyViaPQE(context.Background(), d, q, dnnf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestShapleyViaPQEMatchesAlgorithm1(t *testing.T) {
 func TestOracleCallCountPolynomial(t *testing.T) {
 	d, _ := flights.Build()
 	q := flights.Query()
-	oracle, err := NewOracle(d, q, dnnf.Options{})
+	oracle, err := NewOracle(context.Background(), d, q, dnnf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,14 +168,14 @@ func TestOracleCallCountPolynomial(t *testing.T) {
 func TestNewOracleRejectsNonBoolean(t *testing.T) {
 	d, _ := flights.Build()
 	q := query.MustParse(`q(x) :- Flights(x, y)`)
-	if _, err := NewOracle(d, q, dnnf.Options{}); err == nil {
+	if _, err := NewOracle(context.Background(), d, q, dnnf.Options{}); err == nil {
 		t.Error("non-Boolean query accepted")
 	}
 }
 
 func TestProbabilityCertainDatabase(t *testing.T) {
 	d, _ := flights.Build()
-	oracle, err := NewOracle(d, flights.Query(), dnnf.Options{})
+	oracle, err := NewOracle(context.Background(), d, flights.Query(), dnnf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,15 +22,17 @@
 //	d.MustInsert("Flights", true, repro.String("JFK"), repro.String("CDG"))
 //	...
 //	q, _ := repro.ParseQuery(`q() :- Flights(x, y), Airports(y, 'FR')`)
-//	answers, _ := repro.Explain(d, q, repro.Options{})
+//	answers, _ := repro.Explain(context.Background(), d, q, repro.Options{})
 //	for _, a := range answers {
 //	    fmt.Println(a.Tuple, a.TopFacts(3))
 //	}
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"sync"
 	"time"
 
 	"repro/internal/circuit"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/dnnf"
 	"repro/internal/engine"
+	"repro/internal/parallel"
 	"repro/internal/pqe"
 	"repro/internal/query"
 )
@@ -100,6 +103,16 @@ type Options struct {
 	// MaxNodes bounds the compiled circuit size (memory-exhaustion
 	// analogue); zero means unbounded.
 	MaxNodes int
+	// Workers bounds the pipeline's total concurrency: output tuples are
+	// explained in parallel, and leftover workers fan out Algorithm 1's
+	// per-fact loop within each tuple. Zero (the default) means GOMAXPROCS;
+	// 1 forces the fully serial pipeline. Results are identical — and
+	// identically ordered — for every setting.
+	Workers int
+	// CacheSize sizes the process-wide d-DNNF compilation cache (number of
+	// compiled circuits retained across Explain calls). Zero means the
+	// default size; negative disables cross-call caching.
+	CacheSize int
 }
 
 // TupleExplanation is the result for one output tuple: either exact Shapley
@@ -142,25 +155,74 @@ func (e *TupleExplanation) Score(f FactID) float64 {
 	return v
 }
 
+// sharedCache is the process-wide cross-call compilation cache behind
+// Options.CacheSize. Lazily created on first use; later calls asking for a
+// larger size grow it in place so concurrent users keep their working sets.
+var (
+	sharedCacheMu sync.Mutex
+	sharedCache   *dnnf.CompileCache
+)
+
+func compileCache(size int) *dnnf.CompileCache {
+	if size < 0 {
+		return nil
+	}
+	sharedCacheMu.Lock()
+	defer sharedCacheMu.Unlock()
+	if sharedCache == nil {
+		sharedCache = dnnf.NewCompileCache(size)
+	} else if size > 0 {
+		sharedCache.Grow(size)
+	}
+	return sharedCache
+}
+
 // Explain evaluates the query over the database and explains every output
 // tuple: it computes, for each endogenous fact appearing in the tuple's
 // provenance, its exact Shapley value (or, past the time budget, its CNF
 // Proxy score). This is the end-to-end pipeline of Figure 3 combined with
 // the Section 6.3 hybrid strategy.
-func Explain(d *Database, q *Query, opts Options) ([]TupleExplanation, error) {
+//
+// Output tuples are explained concurrently across opts.Workers goroutines
+// (each answer's lineage is independent of the others), with the slice
+// returned in query-evaluation order regardless of completion order.
+// Cancelling ctx aborts the remaining work and returns the context's error.
+func Explain(ctx context.Context, d *Database, q *Query, opts Options) ([]TupleExplanation, error) {
 	cb := circuit.NewBuilder()
 	answers, err := engine.Eval(d, q, cb, engine.Options{Mode: engine.ModeEndogenous})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]TupleExplanation, 0, len(answers))
-	for _, a := range answers {
+	if len(answers) == 0 {
+		return nil, ctx.Err()
+	}
+	cache := compileCache(opts.CacheSize)
+	// Split the worker budget: fan out across answers first, and give each
+	// answer's Algorithm 1 loop the leftover parallelism. A single answer
+	// gets the whole budget for its per-fact loop.
+	workers := parallel.Workers(opts.Workers)
+	outer := workers
+	if outer > len(answers) {
+		outer = len(answers)
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	out := make([]TupleExplanation, len(answers))
+	err = parallel.ForEach(ctx, len(answers), outer, func(_, i int) error {
+		a := answers[i]
 		endo := lineageEndo(a.Lineage)
-		h := core.Hybrid(a.Lineage, endo, core.HybridOptions{
+		h, err := core.Hybrid(ctx, a.Lineage, endo, core.HybridOptions{
 			Timeout:  opts.Timeout,
 			MaxNodes: opts.MaxNodes,
+			Workers:  inner,
+			Cache:    cache,
 		})
-		out = append(out, TupleExplanation{
+		if err != nil {
+			return err
+		}
+		out[i] = TupleExplanation{
 			Tuple:    a.Tuple,
 			Method:   h.Method,
 			Values:   h.Values,
@@ -168,7 +230,11 @@ func Explain(d *Database, q *Query, opts Options) ([]TupleExplanation, error) {
 			Ranking:  h.Ranking,
 			NumFacts: len(endo),
 			Elapsed:  h.Elapsed,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -176,11 +242,11 @@ func Explain(d *Database, q *Query, opts Options) ([]TupleExplanation, error) {
 // ExplainBoolean explains a Boolean query's positive answer. It returns an
 // error if the query is non-Boolean; a query that is false on the full
 // database yields an explanation with no facts.
-func ExplainBoolean(d *Database, q *Query, opts Options) (*TupleExplanation, error) {
+func ExplainBoolean(ctx context.Context, d *Database, q *Query, opts Options) (*TupleExplanation, error) {
 	if !q.IsBoolean() {
 		return nil, fmt.Errorf("repro: query has arity %d, want Boolean", q.Arity())
 	}
-	es, err := Explain(d, q, opts)
+	es, err := Explain(ctx, d, q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -194,8 +260,8 @@ func ExplainBoolean(d *Database, q *Query, opts Options) (*TupleExplanation, err
 // query using only probabilistic-query-evaluation oracle calls, per the
 // reduction of Proposition 3.1. It is slower than Explain but demonstrates
 // (and cross-checks) the theoretical connection to probabilistic databases.
-func ShapleyViaProbabilisticDB(d *Database, q *Query) (Values, error) {
-	return pqe.ShapleyViaPQE(d, q, dnnf.Options{})
+func ShapleyViaProbabilisticDB(ctx context.Context, d *Database, q *Query) (Values, error) {
+	return pqe.ShapleyViaPQE(ctx, d, q, dnnf.Options{})
 }
 
 // Hierarchical reports whether every disjunct of the query is hierarchical.

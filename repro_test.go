@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -13,7 +15,7 @@ import (
 func TestExplainFlights(t *testing.T) {
 	d, fs := flights.Build()
 	q := flights.Query()
-	exp, err := ExplainBoolean(d, q, Options{Timeout: 10 * time.Second})
+	exp, err := ExplainBoolean(context.Background(), d, q, Options{Timeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func TestExplainNonBoolean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	es, err := Explain(d, q, Options{})
+	es, err := Explain(context.Background(), d, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestExplainBooleanRejectsNonBoolean(t *testing.T) {
 	d := NewDatabase()
 	d.CreateRelation("R", "x")
 	q, _ := ParseQuery(`q(x) :- R(x)`)
-	if _, err := ExplainBoolean(d, q, Options{}); err == nil {
+	if _, err := ExplainBoolean(context.Background(), d, q, Options{}); err == nil {
 		t.Error("non-Boolean query accepted")
 	}
 }
@@ -79,7 +81,7 @@ func TestExplainBooleanFalseQuery(t *testing.T) {
 	d := NewDatabase()
 	d.CreateRelation("R", "x")
 	q, _ := ParseQuery(`q() :- R(99)`)
-	exp, err := ExplainBoolean(d, q, Options{})
+	exp, err := ExplainBoolean(context.Background(), d, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestExplainBooleanFalseQuery(t *testing.T) {
 func TestExplainProxyFallback(t *testing.T) {
 	d, _ := flights.Build()
 	q := flights.Query()
-	exp, err := ExplainBoolean(d, q, Options{Timeout: 10 * time.Second, MaxNodes: 1})
+	exp, err := ExplainBoolean(context.Background(), d, q, Options{Timeout: 10 * time.Second, MaxNodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestExplainProxyFallback(t *testing.T) {
 
 func TestShapleyViaProbabilisticDB(t *testing.T) {
 	d, fs := flights.Build()
-	v, err := ShapleyViaProbabilisticDB(d, flights.Query())
+	v, err := ShapleyViaProbabilisticDB(context.Background(), d, flights.Query())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestBagSemanticsByFactCopies(t *testing.T) {
 	c1 := d.MustInsert("R", true, Int(1)) // first copy of R(1)
 	c2 := d.MustInsert("R", true, Int(1)) // second copy of R(1)
 	q, _ := ParseQuery(`q() :- R(1)`)
-	exp, err := ExplainBoolean(d, q, Options{})
+	exp, err := ExplainBoolean(context.Background(), d, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,14 +172,14 @@ func TestLargerRandomDifferential(t *testing.T) {
 			endo = append(endo, f.ID)
 		}
 		q, _ := ParseQuery(`q() :- R(a, b), S(b, c)`)
-		exp, err := ExplainBoolean(d, q, Options{})
+		exp, err := ExplainBoolean(context.Background(), d, q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Ground truth by re-running the query on every endogenous subset.
 		game := func(subset map[FactID]bool) bool {
 			sub := d.WithEndogenousSubset(subset)
-			e2, err := ExplainBoolean(sub, q, Options{})
+			e2, err := ExplainBoolean(context.Background(), sub, q, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -199,5 +201,70 @@ func TestLargerRandomDifferential(t *testing.T) {
 				t.Fatalf("trial %d fact %d: pipeline %v, naive %v", trial, f, got, want[f])
 			}
 		}
+	}
+}
+
+// TestExplainParallelMatchesSerial runs the facade end-to-end with the
+// per-answer fan-out enabled and asserts the result slice is identical —
+// same order, same methods, same exact rationals — to the serial run.
+func TestExplainParallelMatchesSerial(t *testing.T) {
+	d := NewDatabase()
+	d.CreateRelation("R", "a", "b")
+	d.CreateRelation("S", "b", "c")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 18; i++ {
+		d.MustInsert("R", true, Int(int64(i%6)), Int(int64(rng.Intn(4))))
+	}
+	for i := 0; i < 12; i++ {
+		d.MustInsert("S", true, Int(int64(rng.Intn(4))), Int(int64(rng.Intn(3))))
+	}
+	q, err := ParseQuery(`q(a) :- R(a, b), S(b, c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Explain(context.Background(), d, q, Options{Workers: 1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) < 2 {
+		t.Fatalf("want a multi-answer query, got %d answers", len(serial))
+	}
+	parallel, err := Explain(context.Background(), d, q, Options{Workers: 8, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel produced %d explanations, serial %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Tuple.String() != p.Tuple.String() {
+			t.Fatalf("answer %d: tuple order diverged: %v vs %v", i, p.Tuple, s.Tuple)
+		}
+		if s.Method != p.Method || s.NumFacts != p.NumFacts {
+			t.Fatalf("answer %d: method/facts diverged", i)
+		}
+		if len(s.Ranking) != len(p.Ranking) {
+			t.Fatalf("answer %d: ranking lengths diverged", i)
+		}
+		for j := range s.Ranking {
+			if s.Ranking[j] != p.Ranking[j] {
+				t.Fatalf("answer %d: ranking[%d] = %d, serial %d", i, j, p.Ranking[j], s.Ranking[j])
+			}
+		}
+		for f, sv := range s.Values {
+			if pv := p.Values[f]; pv == nil || pv.Cmp(sv) != 0 {
+				t.Fatalf("answer %d fact %d: parallel %v, serial %v", i, f, pv, sv)
+			}
+		}
+	}
+}
+
+func TestExplainCancelledContext(t *testing.T) {
+	d, _ := flights.Build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Explain(ctx, d, flights.Query(), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
