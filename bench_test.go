@@ -319,12 +319,14 @@ func parallelWorkload(b *testing.B) (*dnnf.Node, []FactID) {
 
 // BenchmarkShapleyAllParallel measures Algorithm 1's per-fact fan-out on the
 // heaviest TPC-H/IMDB lineage of the corpus: workers=1 is the serial
-// baseline, workers=GOMAXPROCS the saturated configuration. The setup phase
+// baseline, workers=GOMAXPROCS the saturated configuration. The strategy is
+// pinned to per-fact so the benchmark isolates the fan-out (the gradient
+// strategy is measured by BenchmarkShapleyAllGradient). The setup phase
 // asserts the parallel Values are big.Rat-identical to the serial ones, so
 // the speedup is measured on provably equivalent computations.
 func BenchmarkShapleyAllParallel(b *testing.B) {
 	circ, endo := parallelWorkload(b)
-	serial, err := core.ShapleyAll(context.Background(), circ, endo, 1)
+	serial, err := core.ShapleyAllStrategy(context.Background(), circ, endo, 1, core.StrategyPerFact)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -335,7 +337,7 @@ func BenchmarkShapleyAllParallel(b *testing.B) {
 			continue
 		}
 		seen[workers] = true
-		v, err := core.ShapleyAll(context.Background(), circ, endo, workers)
+		v, err := core.ShapleyAllStrategy(context.Background(), circ, endo, workers, core.StrategyPerFact)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -346,11 +348,82 @@ func BenchmarkShapleyAllParallel(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.ShapleyAll(context.Background(), circ, endo, workers); err != nil {
+				if _, err := core.ShapleyAllStrategy(context.Background(), circ, endo, workers, core.StrategyPerFact); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// thresholdDNNF builds the "at least t of n" voting function as a d-DNNF
+// decision DAG (O(n·t) nodes, all n variables in the support) — a
+// flights-scale circuit family whose fact count n can be dialed up freely.
+func thresholdDNNF(b *dnnf.Builder, n, t int) *dnnf.Node {
+	type key struct{ i, need int }
+	memo := map[key]*dnnf.Node{}
+	var rec func(i, need int) *dnnf.Node
+	rec = func(i, need int) *dnnf.Node {
+		if need <= 0 {
+			return b.True()
+		}
+		if need > n-i+1 {
+			return b.False()
+		}
+		k := key{i, need}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := b.Decision(i, rec(i+1, need-1), rec(i+1, need))
+		memo[k] = v
+		return v
+	}
+	return rec(1, t)
+}
+
+// BenchmarkShapleyAllGradient is the head-to-head for the two-pass gradient
+// rewrite: per-fact conditioning (2n conditionings, O(n·|C|·n²)) versus the
+// gradient strategy (two circuit passes, O(|C|·n²)) on threshold circuits
+// with n ≥ 20 facts. Both run serially (workers=1) so the ratio isolates
+// the algorithmic difference, and the setup phase asserts the two
+// strategies produce big.Rat-identical values. The gradient advantage grows
+// linearly with n.
+func BenchmarkShapleyAllGradient(b *testing.B) {
+	for _, n := range []int{20, 28} {
+		bu := dnnf.NewBuilder()
+		circ := thresholdDNNF(bu, n, n/2)
+		endo := make([]FactID, n)
+		for i := range endo {
+			endo[i] = FactID(i + 1)
+		}
+		perFact, err := core.ShapleyAllStrategy(context.Background(), circ, endo, 1, core.StrategyPerFact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gradient, err := core.ShapleyAllStrategy(context.Background(), circ, endo, 1, core.StrategyGradient)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f, pv := range perFact {
+			if gv := gradient[f]; gv == nil || gv.Cmp(pv) != 0 {
+				b.Fatalf("n=%d fact %d: gradient %v != per-fact %v", n, f, gradient[f], pv)
+			}
+		}
+		for _, cfg := range []struct {
+			name     string
+			strategy core.ShapleyStrategy
+		}{
+			{"per-fact", core.StrategyPerFact},
+			{"gradient", core.StrategyGradient},
+		} {
+			b.Run(fmt.Sprintf("n=%d/strategy=%s", n, cfg.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ShapleyAllStrategy(context.Background(), circ, endo, 1, cfg.strategy); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -31,8 +31,16 @@ func main() {
 		maxTup  = flag.Int("maxtuples", 200, "max output tuples per query (0 = unbounded)")
 		workers = flag.Int("workers", 0, "per-tuple Algorithm 1 fan-out (0 = GOMAXPROCS, 1 = serial)")
 		cacheSz = flag.Int("cache", 0, "compiled-circuit cache capacity per suite (0 = disabled)")
+		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
+		benchJS = flag.String("benchjson", "", "write a BENCH_shapley.json perf report (per-tuple timings + per-fact vs gradient head-to-head) to this path")
 	)
 	flag.Parse()
+
+	strategy, err := core.ParseShapleyStrategy(*strat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -55,6 +63,10 @@ func main() {
 	opts.MaxTuplesPerQuery = *maxTup
 	opts.Workers = *workers
 	opts.CacheSize = *cacheSz
+	opts.Strategy = strategy
+	// The head-to-head report reruns both strategies on the heaviest
+	// reduced circuits, so only retain them when the report is requested.
+	opts.KeepDNNF = *benchJS != ""
 
 	fmt.Printf("== Corpus: TPC-H + IMDB (scale %.2f, timeout %v) ==\n", *scale, *timeout)
 	start := time.Now()
@@ -72,6 +84,23 @@ func main() {
 	}
 	fmt.Printf("corpus built in %v: %d output tuples, %d exact successes (%.2f%%)\n\n",
 		time.Since(start).Round(time.Millisecond), total, success, 100*float64(success)/float64(max(total, 1)))
+
+	if *benchJS != "" {
+		rep, err := bench.ShapleyBenchReport(ctx, corpus, strategy, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteShapleyBench(*benchJS, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		for _, h := range rep.HeadToHead {
+			fmt.Printf("shapley head-to-head %s/%s (n=%d, |C|=%d): per-fact %.2fms, gradient %.2fms (%.1fx)\n",
+				h.Dataset, h.Query, h.NumFacts, h.DNNFSize, h.PerFactMillis, h.GradientMillis, h.Speedup)
+		}
+		fmt.Printf("wrote %s\n\n", *benchJS)
+	}
 
 	if want["table1"] {
 		section("Table 1 — exact computation per query")
@@ -95,7 +124,7 @@ func main() {
 		section("Figure 5 — Algorithm 1 time vs lineitem scale")
 		points, err := bench.RunScaling(ctx, opts.TPCH, []float64{0.25, 0.5, 0.75, 1.0},
 			[]string{"q3", "q10", "q9", "q19"}, 2,
-			core.PipelineOptions{CompileTimeout: *timeout, ShapleyTimeout: *timeout, Workers: *workers})
+			core.PipelineOptions{CompileTimeout: *timeout, ShapleyTimeout: *timeout, Workers: *workers, Strategy: strategy})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)

@@ -39,8 +39,15 @@ func main() {
 		method  = flag.String("method", "hybrid", "hybrid (exact with proxy fallback) or proxy (force CNF Proxy via zero budget)")
 		workers = flag.Int("workers", 0, "pipeline concurrency (0 = GOMAXPROCS, 1 = serial)")
 		cache   = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, negative = disabled)")
+		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
 	)
 	flag.Parse()
+
+	strategy, err := repro.ParseShapleyStrategy(*strat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapley:", err)
+		os.Exit(1)
+	}
 
 	// Interrupt cancels the in-flight explanation instead of killing the
 	// process mid-print.
@@ -53,7 +60,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := repro.Options{Timeout: *timeout, Workers: *workers, CacheSize: *cache}
+	opts := repro.Options{Timeout: *timeout, Workers: *workers, CacheSize: *cache, Strategy: strategy}
 	if *method == "proxy" {
 		// A 1-node budget forces the proxy path without waiting.
 		opts.MaxNodes = 1

@@ -45,6 +45,13 @@ type Options struct {
 	// each tuple (≤ 0 = GOMAXPROCS, 1 = serial). Tuples themselves run
 	// serially so per-tuple timings stay comparable to the paper's.
 	Workers int
+	// Strategy selects the Algorithm 1 evaluation mode (auto, per-fact, or
+	// gradient); the values are identical, only the cost differs.
+	Strategy core.ShapleyStrategy
+	// KeepDNNF retains each tuple's reduced d-DNNF on its TupleResult, as
+	// required by ShapleyBenchReport's strategy head-to-head. Off by
+	// default so large corpus runs don't pin every compiled circuit.
+	KeepDNNF bool
 	// CacheSize sizes a cross-call d-DNNF compilation cache shared by the
 	// whole corpus run; zero disables it (every tuple compiles afresh, the
 	// configuration the paper's tables measure).
@@ -78,6 +85,7 @@ type TupleResult struct {
 
 	Values core.Values // exact Shapley values (nil on failure)
 	ELin   *circuit.Node
+	DNNF   *dnnf.Node // reduced d-DNNF (nil unless Options.KeepDNNF)
 	CNF    *cnf.Formula
 	Endo   []db.FactID
 }
@@ -234,6 +242,7 @@ func runTuple(ctx context.Context, dataset, qname string, a engine.Answer, endo 
 		CompileMaxNodes: opts.MaxNodes,
 		ShapleyTimeout:  opts.Timeout,
 		Workers:         opts.Workers,
+		Strategy:        opts.Strategy,
 		Cache:           cache,
 	})
 	tr.CNF = res.CNF
@@ -241,6 +250,9 @@ func runTuple(ctx context.Context, dataset, qname string, a engine.Answer, endo 
 	tr.KCTime = res.TseytinTime + res.CompileTime
 	tr.ShapleyTime = res.ShapleyTime
 	tr.DNNFSize = res.DNNFSize
+	if opts.KeepDNNF {
+		tr.DNNF = res.DNNF
+	}
 	if err != nil {
 		tr.FailReason = err.Error()
 		return tr

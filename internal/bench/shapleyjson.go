@@ -1,0 +1,143 @@
+package bench
+
+// BENCH_shapley.json: a machine-readable record of the Shapley evaluation
+// stage's performance, emitted by cmd/benchtables so the perf trajectory of
+// the hot path (Algorithm 1) can be tracked across commits. The report has
+// two parts: the per-tuple corpus measurements, and a head-to-head timing of
+// the per-fact versus gradient strategies on the heaviest lineages of the
+// corpus (the comparison the gradient rewrite targets).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ShapleyBenchTuple is one output tuple's measurement in the JSON report.
+type ShapleyBenchTuple struct {
+	Dataset       string  `json:"dataset"`
+	Query         string  `json:"query"`
+	Tuple         string  `json:"tuple"`
+	NumFacts      int     `json:"num_facts"`
+	NumClauses    int     `json:"num_clauses"`
+	DNNFSize      int     `json:"dnnf_size"`
+	KCMillis      float64 `json:"kc_ms"`
+	ShapleyMillis float64 `json:"shapley_ms"`
+	Success       bool    `json:"success"`
+}
+
+// StrategyComparison times both Algorithm 1 strategies on one reduced
+// d-DNNF, after cross-checking that they produce identical values.
+type StrategyComparison struct {
+	Dataset        string  `json:"dataset"`
+	Query          string  `json:"query"`
+	NumFacts       int     `json:"num_facts"`
+	DNNFSize       int     `json:"dnnf_size"`
+	PerFactMillis  float64 `json:"per_fact_ms"`
+	GradientMillis float64 `json:"gradient_ms"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// ShapleyBench is the top-level BENCH_shapley.json document.
+type ShapleyBench struct {
+	GeneratedAt string               `json:"generated_at"`
+	Strategy    string               `json:"strategy"`
+	Tuples      []ShapleyBenchTuple  `json:"tuples"`
+	HeadToHead  []StrategyComparison `json:"head_to_head"`
+}
+
+// ShapleyBenchReport builds the JSON report from a finished corpus run. It
+// re-times both strategies on the headToHead largest successful lineages
+// (serially, workers=1, so the numbers isolate the algorithmic difference)
+// and verifies the two strategies agree exactly before reporting. The
+// head-to-head section requires the corpus to have been run with
+// Options.KeepDNNF; tuples without a retained circuit are skipped.
+func ShapleyBenchReport(ctx context.Context, c *Corpus, strategy core.ShapleyStrategy, headToHead int) (*ShapleyBench, error) {
+	rep := &ShapleyBench{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Strategy:    strategy.String(),
+	}
+	for _, t := range c.Tuples() {
+		rep.Tuples = append(rep.Tuples, ShapleyBenchTuple{
+			Dataset:       t.Dataset,
+			Query:         t.Query,
+			Tuple:         t.Tuple.String(),
+			NumFacts:      t.NumFacts,
+			NumClauses:    t.NumClauses,
+			DNNFSize:      t.DNNFSize,
+			KCMillis:      float64(t.KCTime) / float64(time.Millisecond),
+			ShapleyMillis: float64(t.ShapleyTime) / float64(time.Millisecond),
+			Success:       t.Success,
+		})
+	}
+
+	candidates := c.SuccessfulTuples()
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].NumFacts != candidates[j].NumFacts {
+			return candidates[i].NumFacts > candidates[j].NumFacts
+		}
+		return candidates[i].DNNFSize > candidates[j].DNNFSize
+	})
+	if headToHead > len(candidates) {
+		headToHead = len(candidates)
+	}
+	for _, t := range candidates[:headToHead] {
+		if t.DNNF == nil {
+			continue
+		}
+		cmp, err := compareStrategies(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		rep.HeadToHead = append(rep.HeadToHead, *cmp)
+	}
+	return rep, nil
+}
+
+func compareStrategies(ctx context.Context, t *TupleResult) (*StrategyComparison, error) {
+	t0 := time.Now()
+	perFact, err := core.ShapleyAllStrategy(ctx, t.DNNF, t.Endo, 1, core.StrategyPerFact)
+	if err != nil {
+		return nil, fmt.Errorf("bench: per-fact strategy on %s/%s: %w", t.Dataset, t.Query, err)
+	}
+	perFactTime := time.Since(t0)
+	t1 := time.Now()
+	gradient, err := core.ShapleyAllStrategy(ctx, t.DNNF, t.Endo, 1, core.StrategyGradient)
+	if err != nil {
+		return nil, fmt.Errorf("bench: gradient strategy on %s/%s: %w", t.Dataset, t.Query, err)
+	}
+	gradientTime := time.Since(t1)
+	for f, pv := range perFact {
+		if gv := gradient[f]; gv == nil || gv.Cmp(pv) != 0 {
+			return nil, fmt.Errorf("bench: strategy mismatch on %s/%s fact %d: per-fact %v, gradient %v",
+				t.Dataset, t.Query, f, pv, gradient[f])
+		}
+	}
+	speedup := 0.0
+	if gradientTime > 0 {
+		speedup = float64(perFactTime) / float64(gradientTime)
+	}
+	return &StrategyComparison{
+		Dataset:        t.Dataset,
+		Query:          t.Query,
+		NumFacts:       t.NumFacts,
+		DNNFSize:       t.DNNFSize,
+		PerFactMillis:  float64(perFactTime) / float64(time.Millisecond),
+		GradientMillis: float64(gradientTime) / float64(time.Millisecond),
+		Speedup:        speedup,
+	}, nil
+}
+
+// WriteShapleyBench writes the report as indented JSON.
+func WriteShapleyBench(path string, rep *ShapleyBench) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

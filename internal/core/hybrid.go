@@ -51,6 +51,9 @@ type HybridOptions struct {
 	MaxNodes int
 	// Workers fans Algorithm 1 out across goroutines (≤ 0 = GOMAXPROCS).
 	Workers int
+	// Strategy selects the Algorithm 1 evaluation mode (auto, per-fact, or
+	// gradient).
+	Strategy ShapleyStrategy
 	// Cache is an optional cross-call d-DNNF compilation cache.
 	Cache *dnnf.CompileCache
 }
@@ -68,6 +71,7 @@ func Hybrid(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts Hybr
 		ShapleyTimeout:  opts.Timeout,
 		CompileMaxNodes: opts.MaxNodes,
 		Workers:         opts.Workers,
+		Strategy:        opts.Strategy,
 		Cache:           opts.Cache,
 	}
 	res, err := ExplainCircuit(ctx, elin, endo, popts)

@@ -33,7 +33,7 @@ func NaiveShapley(game BooleanGame, endo []db.FactID) (Values, error) {
 		}
 		vals[mask] = game(subset)
 	}
-	coefs := ShapleyCoefficients(n)
+	coefs := shapleyCoefficients(n)
 	out := make(Values, n)
 	for i, f := range endo {
 		total := new(big.Rat)
@@ -78,7 +78,7 @@ func NaiveShapleyReal(game RealGame, players []int) (map[int]*big.Rat, error) {
 		}
 		vals[mask] = game(subset)
 	}
-	coefs := ShapleyCoefficients(n)
+	coefs := shapleyCoefficients(n)
 	out := make(map[int]*big.Rat, n)
 	var diff, term big.Rat
 	for i, p := range players {

@@ -29,9 +29,14 @@ type PipelineOptions struct {
 	Order dnnf.VarOrder
 	// DisableCache turns off the compiler's component cache (ablation).
 	DisableCache bool
-	// Workers is the per-fact fan-out of Algorithm 1 (≤ 0 = GOMAXPROCS,
-	// 1 = serial). Results are identical for every setting.
+	// Workers is the fan-out of Algorithm 1 (≤ 0 = GOMAXPROCS, 1 = serial):
+	// across facts in per-fact mode, across the nodes of each circuit level
+	// in gradient mode. Results are identical for every setting.
 	Workers int
+	// Strategy selects the Algorithm 1 evaluation mode (StrategyAuto picks
+	// gradient for large n·|C|, per-fact otherwise; both are exact and
+	// big.Rat-identical).
+	Strategy ShapleyStrategy
 	// Cache, when non-nil, is a cross-call d-DNNF compilation cache shared
 	// between pipeline invocations (and goroutines).
 	Cache *dnnf.CompileCache
@@ -104,7 +109,7 @@ func ExplainCircuit(ctx context.Context, elin *circuit.Node, endo []db.FactID, o
 		defer cancel()
 	}
 	t2 := time.Now()
-	values, err := ShapleyAll(sctx, reduced, endo, opts.Workers)
+	values, err := ShapleyAllStrategy(sctx, reduced, endo, opts.Workers, opts.Strategy)
 	res.ShapleyTime = time.Since(t2)
 	if err != nil {
 		if ctx.Err() == nil {

@@ -8,9 +8,24 @@ package core
 
 import (
 	"math/big"
+	"sync"
 
 	"repro/internal/dnnf"
 )
+
+// flattenDNNF returns the nodes reachable from n in topological order
+// (children before parents) together with the largest node ID, so dynamic
+// programs over the DAG can use dense slices instead of maps and plain loops
+// instead of recursion.
+func flattenDNNF(n *dnnf.Node) (order []*dnnf.Node, maxID int) {
+	dnnf.Visit(n, func(m *dnnf.Node) {
+		order = append(order, m)
+		if m.ID() > maxID {
+			maxID = m.ID()
+		}
+	})
+	return order, maxID
+}
 
 // ComputeAllSATk computes #SAT_0(C), ..., #SAT_n(C) for the d-DNNF rooted at
 // n, counted over the node's own variable support (Lemma 4.5). The returned
@@ -23,46 +38,73 @@ import (
 //   - ∨ (deterministic): sum of children vectors, each first convolved with
 //     the binomial row of its gap variables (Vars(g) \ Vars(child))
 //
-// Constants have empty support: true ↦ [1], false ↦ [0].
+// Constants have empty support: true ↦ [1], false ↦ [0]. Memos are kept in a
+// dense slice indexed by node ID (builder IDs are contiguous), avoiding the
+// map overhead that used to dominate small-vector nodes.
 func ComputeAllSATk(n *dnnf.Node) []*big.Int {
-	memo := make(map[int][]*big.Int)
-	var rec func(*dnnf.Node) []*big.Int
-	rec = func(m *dnnf.Node) []*big.Int {
-		if v, ok := memo[m.ID()]; ok {
-			return v
+	order, maxID := flattenDNNF(n)
+	memo := make([][]*big.Int, maxID+1)
+	for _, m := range order {
+		memo[m.ID()] = satkNode(m, memo)
+	}
+	return memo[n.ID()]
+}
+
+// satkNode computes one node's #SAT_k vector from its children's memoized
+// vectors. The returned slice is freshly owned by the caller except that it
+// never aliases a child's memo entry.
+func satkNode(m *dnnf.Node, memo [][]*big.Int) []*big.Int {
+	switch m.Kind {
+	case dnnf.KindTrue:
+		return []*big.Int{big.NewInt(1)}
+	case dnnf.KindFalse:
+		return []*big.Int{big.NewInt(0)}
+	case dnnf.KindLit:
+		if m.Lit > 0 {
+			return []*big.Int{big.NewInt(0), big.NewInt(1)}
 		}
+		return []*big.Int{big.NewInt(1), big.NewInt(0)}
+	case dnnf.KindAnd:
+		switch len(m.Children) {
+		case 0:
+			return []*big.Int{big.NewInt(1)}
+		case 1:
+			return copyCounts(memo[m.Children[0].ID()])
+		}
+		v := convolve(memo[m.Children[0].ID()], memo[m.Children[1].ID()])
+		for _, c := range m.Children[2:] {
+			v = convolve(v, memo[c.ID()])
+		}
+		return v
+	default: // dnnf.KindOr
 		var v []*big.Int
-		switch m.Kind {
-		case dnnf.KindTrue:
-			v = []*big.Int{big.NewInt(1)}
-		case dnnf.KindFalse:
-			v = []*big.Int{big.NewInt(0)}
-		case dnnf.KindLit:
-			if m.Lit > 0 {
-				v = []*big.Int{big.NewInt(0), big.NewInt(1)}
-			} else {
-				v = []*big.Int{big.NewInt(1), big.NewInt(0)}
-			}
-		case dnnf.KindAnd:
-			v = []*big.Int{big.NewInt(1)}
-			for _, c := range m.Children {
-				v = convolve(v, rec(c))
-			}
-		case dnnf.KindOr:
-			size := len(m.Vars()) + 1
-			v = zeros(size)
-			for _, c := range m.Children {
-				gap := len(m.Vars()) - len(c.Vars())
-				padded := PadToUniverse(rec(c), gap)
-				for i := range padded {
-					v[i].Add(v[i], padded[i])
+		for _, c := range m.Children {
+			child := memo[c.ID()]
+			gap := len(m.Vars()) - len(c.Vars())
+			switch {
+			case v == nil && gap == 0:
+				// The first child's vector seeds the accumulator; copy so
+				// the memo entry is never mutated.
+				v = copyCounts(child)
+			case v == nil:
+				v = convolve(child, binomialRow(gap))
+			case gap == 0:
+				for i, ci := range child {
+					if ci.Sign() != 0 {
+						v[i].Add(v[i], ci)
+					}
 				}
+			default:
+				// Accumulate the gap-padded child directly into v instead of
+				// materializing a padded temporary.
+				addConvolve(v, child, binomialRow(gap))
 			}
 		}
-		memo[m.ID()] = v
+		if v == nil {
+			v = zeros(len(m.Vars()) + 1)
+		}
 		return v
 	}
-	return rec(n)
 }
 
 // PadToUniverse extends a #SAT_k vector counted over some support to a
@@ -78,8 +120,7 @@ func PadToUniverse(counts []*big.Int, extra int) []*big.Int {
 	if extra < 0 {
 		panic("core: negative universe gap")
 	}
-	row := binomialRow(extra)
-	return convolve(counts, row)
+	return convolve(counts, binomialRow(extra))
 }
 
 // convolve returns the coefficient-wise product of two count vectors:
@@ -87,6 +128,13 @@ func PadToUniverse(counts []*big.Int, extra int) []*big.Int {
 // two variable-disjoint parts by total Hamming weight.
 func convolve(a, b []*big.Int) []*big.Int {
 	out := zeros(len(a) + len(b) - 1)
+	addConvolve(out, a, b)
+	return out
+}
+
+// addConvolve accumulates the convolution of a and b into dst in place:
+// dst[i+j] += a[i]·b[j]. dst must have length ≥ len(a)+len(b)-1.
+func addConvolve(dst, a, b []*big.Int) {
 	var t big.Int
 	for i, ai := range a {
 		if ai.Sign() == 0 {
@@ -97,14 +145,28 @@ func convolve(a, b []*big.Int) []*big.Int {
 				continue
 			}
 			t.Mul(ai, bj)
-			out[i+j].Add(out[i+j], &t)
+			dst[i+j].Add(dst[i+j], &t)
 		}
 	}
-	return out
 }
 
-// binomialRow returns [C(n,0), C(n,1), ..., C(n,n)].
+// binomialCache memoizes binomial rows across calls: every ∨-gate with gap
+// variables and every universe padding used to recompute its row from
+// scratch. Rows are shared and must be treated as read-only by callers.
+var binomialCache struct {
+	sync.Mutex
+	rows  map[int][]*big.Int
+	frows map[int][]float64
+}
+
+// binomialRow returns [C(n,0), C(n,1), ..., C(n,n)]. The returned slice is
+// shared across calls; callers must not modify it or its entries.
 func binomialRow(n int) []*big.Int {
+	binomialCache.Lock()
+	defer binomialCache.Unlock()
+	if row, ok := binomialCache.rows[n]; ok {
+		return row
+	}
 	row := make([]*big.Int, n+1)
 	row[0] = big.NewInt(1)
 	for k := 1; k <= n; k++ {
@@ -112,13 +174,30 @@ func binomialRow(n int) []*big.Int {
 		row[k] = new(big.Int).Mul(row[k-1], big.NewInt(int64(n-k+1)))
 		row[k].Quo(row[k], big.NewInt(int64(k)))
 	}
+	if binomialCache.rows == nil {
+		binomialCache.rows = make(map[int][]*big.Int)
+	}
+	binomialCache.rows[n] = row
 	return row
 }
 
+// zeros returns a vector of n zero big.Ints backed by a single allocation.
 func zeros(n int) []*big.Int {
+	vals := make([]big.Int, n)
 	out := make([]*big.Int, n)
-	for i := range out {
-		out[i] = new(big.Int)
+	for i := range vals {
+		out[i] = &vals[i]
+	}
+	return out
+}
+
+// copyCounts returns a freshly owned deep copy of a count vector.
+func copyCounts(src []*big.Int) []*big.Int {
+	vals := make([]big.Int, len(src))
+	out := make([]*big.Int, len(src))
+	for i, s := range src {
+		vals[i].Set(s)
+		out[i] = &vals[i]
 	}
 	return out
 }
@@ -126,48 +205,48 @@ func zeros(n int) []*big.Int {
 // FloatSATk is the float64 variant of ComputeAllSATk, used by the ablation
 // benchmark that quantifies the cost of exact big-integer arithmetic. It
 // overflows to +Inf for large circuits and is not used by the exact
-// algorithm.
+// algorithm. Like ComputeAllSATk it memoizes in a dense slice indexed by
+// node ID.
 func FloatSATk(n *dnnf.Node) []float64 {
-	memo := make(map[int][]float64)
-	var rec func(*dnnf.Node) []float64
-	rec = func(m *dnnf.Node) []float64 {
-		if v, ok := memo[m.ID()]; ok {
-			return v
+	order, maxID := flattenDNNF(n)
+	memo := make([][]float64, maxID+1)
+	for _, m := range order {
+		memo[m.ID()] = floatSATkNode(m, memo)
+	}
+	return memo[n.ID()]
+}
+
+func floatSATkNode(m *dnnf.Node, memo [][]float64) []float64 {
+	switch m.Kind {
+	case dnnf.KindTrue:
+		return []float64{1}
+	case dnnf.KindFalse:
+		return []float64{0}
+	case dnnf.KindLit:
+		if m.Lit > 0 {
+			return []float64{0, 1}
 		}
-		var v []float64
-		switch m.Kind {
-		case dnnf.KindTrue:
-			v = []float64{1}
-		case dnnf.KindFalse:
-			v = []float64{0}
-		case dnnf.KindLit:
-			if m.Lit > 0 {
-				v = []float64{0, 1}
-			} else {
-				v = []float64{1, 0}
+		return []float64{1, 0}
+	case dnnf.KindAnd:
+		v := []float64{1}
+		for _, c := range m.Children {
+			v = convolveFloat(v, memo[c.ID()])
+		}
+		return v
+	default: // dnnf.KindOr
+		v := make([]float64, len(m.Vars())+1)
+		for _, c := range m.Children {
+			gap := len(m.Vars()) - len(c.Vars())
+			padded := memo[c.ID()]
+			if gap > 0 {
+				padded = convolveFloat(padded, binomialRowFloat(gap))
 			}
-		case dnnf.KindAnd:
-			v = []float64{1}
-			for _, c := range m.Children {
-				v = convolveFloat(v, rec(c))
-			}
-		case dnnf.KindOr:
-			v = make([]float64, len(m.Vars())+1)
-			for _, c := range m.Children {
-				gap := len(m.Vars()) - len(c.Vars())
-				padded := rec(c)
-				if gap > 0 {
-					padded = convolveFloat(padded, binomialRowFloat(gap))
-				}
-				for i := range padded {
-					v[i] += padded[i]
-				}
+			for i := range padded {
+				v[i] += padded[i]
 			}
 		}
-		memo[m.ID()] = v
 		return v
 	}
-	return rec(n)
 }
 
 func convolveFloat(a, b []float64) []float64 {
@@ -183,11 +262,23 @@ func convolveFloat(a, b []float64) []float64 {
 	return out
 }
 
+// binomialRowFloat is the float64 sibling of binomialRow, memoized in the
+// same mutex-guarded table. The returned slice is shared; treat as
+// read-only.
 func binomialRowFloat(n int) []float64 {
+	binomialCache.Lock()
+	defer binomialCache.Unlock()
+	if row, ok := binomialCache.frows[n]; ok {
+		return row
+	}
 	row := make([]float64, n+1)
 	row[0] = 1
 	for k := 1; k <= n; k++ {
 		row[k] = row[k-1] * float64(n-k+1) / float64(k)
 	}
+	if binomialCache.frows == nil {
+		binomialCache.frows = make(map[int][]float64)
+	}
+	binomialCache.frows[n] = row
 	return row
 }

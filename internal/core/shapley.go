@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/big"
 	"sort"
+	"sync"
 
 	"repro/internal/db"
 	"repro/internal/dnnf"
@@ -57,18 +59,110 @@ func (v Values) Ranking() []db.FactID {
 	return ids
 }
 
-// ShapleyCoefficients returns the n coefficients k!·(n−k−1)!/n! for
-// k = 0..n−1 appearing in Equation (2)/(3) of the paper.
-func ShapleyCoefficients(n int) []*big.Rat {
-	coefs := make([]*big.Rat, n)
+// ShapleyStrategy selects how ShapleyAll computes the per-fact conditioned
+// count vectors of Algorithm 1.
+type ShapleyStrategy uint8
+
+const (
+	// StrategyAuto (the default) picks StrategyGradient when n·|C| crosses
+	// gradientAutoThreshold and StrategyPerFact otherwise.
+	StrategyAuto ShapleyStrategy = iota
+	// StrategyPerFact is the literal Algorithm 1: condition the circuit on
+	// f→true and f→false for each fact f and rerun the #SAT_k dynamic
+	// program, at O(n·|C|·n²) total cost. Kept as an ablation and
+	// cross-check for the gradient path.
+	StrategyPerFact
+	// StrategyGradient obtains every fact's conditioned count difference
+	// from one bottom-up #SAT_k pass plus one top-down derivative pass over
+	// the circuit — O(|C|·n²) total, an asymptotic factor-n speedup.
+	StrategyGradient
+)
+
+func (s ShapleyStrategy) String() string {
+	switch s {
+	case StrategyPerFact:
+		return "per-fact"
+	case StrategyGradient:
+		return "gradient"
+	default:
+		return "auto"
+	}
+}
+
+// ParseShapleyStrategy parses a CLI-facing strategy name.
+func ParseShapleyStrategy(s string) (ShapleyStrategy, error) {
+	switch s {
+	case "", "auto":
+		return StrategyAuto, nil
+	case "per-fact", "perfact":
+		return StrategyPerFact, nil
+	case "gradient":
+		return StrategyGradient, nil
+	}
+	return StrategyAuto, fmt.Errorf("core: unknown Shapley strategy %q (want auto, per-fact, or gradient)", s)
+}
+
+// gradientAutoThreshold is the n·|C| product above which StrategyAuto
+// switches to gradient mode. Below it the per-fact path's lower constant
+// overhead (no level partition, no derivative storage) wins; above it the
+// gradient path's factor-n asymptotic advantage dominates quickly.
+const gradientAutoThreshold = 512
+
+// resolveStrategy turns StrategyAuto into a concrete choice for a circuit
+// with the given support universe size.
+func resolveStrategy(s ShapleyStrategy, n int, c *dnnf.Node) ShapleyStrategy {
+	if s != StrategyAuto {
+		return s
+	}
+	if n*dnnf.Size(c) >= gradientAutoThreshold {
+		return StrategyGradient
+	}
+	return StrategyPerFact
+}
+
+// shapleyCoefCache memoizes ShapleyCoefficients across calls and goroutines:
+// a hybrid answer can evaluate the coefficients for the same n several times
+// (strategy attempts, cross-checks, per-fact helpers); the cached rows are
+// shared read-only.
+var shapleyCoefCache struct {
+	sync.Mutex
+	rows map[int][]*big.Rat
+}
+
+// shapleyCoefficients returns the memoized coefficient row for n. The slice
+// and its entries are shared across callers and must be treated as
+// read-only.
+func shapleyCoefficients(n int) []*big.Rat {
+	shapleyCoefCache.Lock()
+	defer shapleyCoefCache.Unlock()
+	if row, ok := shapleyCoefCache.rows[n]; ok {
+		return row
+	}
+	row := make([]*big.Rat, n)
 	nFact := new(big.Int).MulRange(1, int64(n)) // n!
 	for k := 0; k < n; k++ {
 		kFact := new(big.Int).MulRange(1, int64(k))
 		rFact := new(big.Int).MulRange(1, int64(n-k-1))
 		num := new(big.Int).Mul(kFact, rFact)
-		coefs[k] = new(big.Rat).SetFrac(num, nFact)
+		row[k] = new(big.Rat).SetFrac(num, nFact)
 	}
-	return coefs
+	if shapleyCoefCache.rows == nil {
+		shapleyCoefCache.rows = make(map[int][]*big.Rat)
+	}
+	shapleyCoefCache.rows[n] = row
+	return row
+}
+
+// ShapleyCoefficients returns the n coefficients k!·(n−k−1)!/n! for
+// k = 0..n−1 appearing in Equation (2)/(3) of the paper. The returned
+// rationals are fresh copies the caller may mutate.
+func ShapleyCoefficients(n int) []*big.Rat {
+	src := shapleyCoefficients(n)
+	out := make([]*big.Rat, len(src))
+	for i, r := range src {
+		out[i] = new(big.Rat).Set(r)
+	}
+	return out
 }
 
 // ShapleyOfFact implements Algorithm 1 for a single endogenous fact f: given
@@ -92,7 +186,7 @@ func ShapleyOfFact(c *dnnf.Node, endo []db.FactID, f db.FactID) *big.Rat {
 	if !inSupport {
 		return new(big.Rat)
 	}
-	coefs := ShapleyCoefficients(n)
+	coefs := shapleyCoefficients(n)
 	b := dnnf.NewBuilder()
 	gamma := conditionedCounts(b, c, int(f), true, n-1)
 	delta := conditionedCounts(b, c, int(f), false, n-1)
@@ -101,44 +195,54 @@ func ShapleyOfFact(c *dnnf.Node, endo []db.FactID, f db.FactID) *big.Rat {
 
 // ShapleyAll computes the Shapley value of every endogenous fact in endo
 // with respect to the Boolean function represented by the d-DNNF c (the
-// endogenous lineage). Its cost is O(|C|·|Dn|²) per fact appearing in the
-// circuit; facts outside the support are zero by symmetry (they are null
-// players).
-//
-// The per-fact computations are independent — each conditions the circuit
-// on its own fact and runs the #SAT_k dynamic program — so they fan out
-// across `workers` goroutines (≤ 0 means GOMAXPROCS, 1 forces the serial
-// path). Every worker owns a private dnnf.Builder; the shared inputs (the
-// circuit, the coefficients) are only read. Exact big.Rat arithmetic makes
-// the parallel result identical to the serial one. Cancellation of ctx is
-// checked between facts; on cancellation the context's error is returned.
+// endogenous lineage), auto-selecting between the per-fact and gradient
+// evaluation strategies. Facts outside the support are zero by symmetry
+// (they are null players). Cancellation of ctx is checked between units of
+// work; on cancellation the context's error is returned.
 func ShapleyAll(ctx context.Context, c *dnnf.Node, endo []db.FactID, workers int) (Values, error) {
-	out := make(Values, len(endo))
+	return ShapleyAllStrategy(ctx, c, endo, workers, StrategyAuto)
+}
+
+// ShapleyAllStrategy is ShapleyAll with an explicit evaluation strategy. The
+// two strategies compute big.Rat-identical values at very different costs:
+// per-fact is O(n·|C|·n²), gradient is O(|C|·n²) for all facts together.
+// Both fan out across `workers` goroutines (≤ 0 means GOMAXPROCS, 1 forces
+// the serial path): per-fact across facts, gradient level-synchronously
+// inside its two circuit passes. The Shapley coefficients for n are computed
+// once per answer (memoized across strategy attempts and calls).
+func ShapleyAllStrategy(ctx context.Context, c *dnnf.Node, endo []db.FactID, workers int, strategy ShapleyStrategy) (Values, error) {
 	n := len(endo)
 	if n == 0 {
-		return out, nil
+		return make(Values), nil
 	}
-	coefs := ShapleyCoefficients(n)
+	coefs := shapleyCoefficients(n)
+	if resolveStrategy(strategy, n, c) == StrategyGradient {
+		return shapleyAllGradient(ctx, c, endo, workers, coefs)
+	}
+	return shapleyAllPerFact(ctx, c, endo, workers, coefs)
+}
+
+// shapleyAllPerFact is the literal Algorithm 1: each fact conditions the
+// circuit on its own presence/absence and reruns the #SAT_k dynamic program.
+// The per-fact computations are independent, so they fan out across workers;
+// every fact gets a private dnnf.Builder so the dense #SAT_k memo stays
+// proportional to the conditioned circuit. Exact big.Rat arithmetic makes
+// the parallel result identical to the serial one.
+func shapleyAllPerFact(ctx context.Context, c *dnnf.Node, endo []db.FactID, workers int, coefs []*big.Rat) (Values, error) {
+	n := len(endo)
+	out := make(Values, n)
 	support := make(map[db.FactID]bool, len(c.Vars()))
 	for _, v := range c.Vars() {
 		support[db.FactID(v)] = true
 	}
-	workers = parallel.Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	builders := make([]*dnnf.Builder, workers)
-	for i := range builders {
-		builders[i] = dnnf.NewBuilder()
-	}
 	vals := make([]*big.Rat, n)
-	err := parallel.ForEach(ctx, n, workers, func(worker, i int) error {
+	err := parallel.ForEach(ctx, n, workers, func(_, i int) error {
 		f := endo[i]
 		if !support[f] {
 			vals[i] = new(big.Rat)
 			return nil
 		}
-		b := builders[worker]
+		b := dnnf.NewBuilder()
 		gamma := conditionedCounts(b, c, int(f), true, n-1)
 		delta := conditionedCounts(b, c, int(f), false, n-1)
 		vals[i] = weightedDifference(gamma, delta, coefs)

@@ -83,6 +83,27 @@ func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
 // Method identifies which algorithm produced an explanation.
 type Method = core.Method
 
+// ShapleyStrategy selects the Algorithm 1 evaluation mode.
+type ShapleyStrategy = core.ShapleyStrategy
+
+// Algorithm 1 evaluation strategies.
+const (
+	// StrategyAuto picks gradient mode when n·|C| is large, per-fact
+	// otherwise. This is the default.
+	StrategyAuto = core.StrategyAuto
+	// StrategyPerFact conditions the circuit twice per fact (the literal
+	// Algorithm 1, O(n·|C|·n²) total).
+	StrategyPerFact = core.StrategyPerFact
+	// StrategyGradient computes all facts' conditioned counts in two
+	// circuit passes (O(|C|·n²) total).
+	StrategyGradient = core.StrategyGradient
+)
+
+// ParseShapleyStrategy parses "auto", "per-fact", or "gradient".
+func ParseShapleyStrategy(s string) (ShapleyStrategy, error) {
+	return core.ParseShapleyStrategy(s)
+}
+
 // Explanation methods.
 const (
 	// MethodExact means exact Shapley values were computed via knowledge
@@ -113,6 +134,12 @@ type Options struct {
 	// compiled circuits retained across Explain calls). Zero means the
 	// default size; negative disables cross-call caching.
 	CacheSize int
+	// Strategy selects the Algorithm 1 evaluation mode. The default,
+	// StrategyAuto, runs the two-pass gradient algorithm when the circuit
+	// and fact count are large enough for its factor-n advantage to matter
+	// and the literal per-fact algorithm otherwise; both produce identical
+	// exact values.
+	Strategy ShapleyStrategy
 }
 
 // TupleExplanation is the result for one output tuple: either exact Shapley
@@ -217,6 +244,7 @@ func Explain(ctx context.Context, d *Database, q *Query, opts Options) ([]TupleE
 			Timeout:  opts.Timeout,
 			MaxNodes: opts.MaxNodes,
 			Workers:  inner,
+			Strategy: opts.Strategy,
 			Cache:    cache,
 		})
 		if err != nil {
