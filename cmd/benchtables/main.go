@@ -30,9 +30,12 @@ func main() {
 		timeout = flag.Duration("timeout", 2500*time.Millisecond, "exact-computation budget per output tuple")
 		maxTup  = flag.Int("maxtuples", 200, "max output tuples per query (0 = unbounded)")
 		workers = flag.Int("workers", 0, "per-tuple Algorithm 1 fan-out (0 = GOMAXPROCS, 1 = serial)")
+		cworker = flag.Int("compile-workers", 0, "knowledge-compiler component fan-out per tuple (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSz = flag.Int("cache", 0, "compiled-circuit cache capacity per suite (0 = disabled)")
+		nocanon = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of canonically")
 		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
-		benchJS = flag.String("benchjson", "", "write a BENCH_shapley.json perf report (per-tuple timings + per-fact vs gradient head-to-head) to this path")
+		benchJS = flag.String("benchjson", "", "write a BENCH_shapley.json perf report (per-tuple timings, per-fact vs gradient head-to-head, worker scaling) to this path")
+		compJS  = flag.String("compilejson", "", "write a BENCH_compile.json perf report (serial vs parallel compile head-to-head, canonical vs byte-identical cache hit rates) to this path")
 	)
 	flag.Parse()
 
@@ -62,7 +65,9 @@ func main() {
 	opts.Timeout = *timeout
 	opts.MaxTuplesPerQuery = *maxTup
 	opts.Workers = *workers
+	opts.CompileWorkers = *cworker
 	opts.CacheSize = *cacheSz
+	opts.NoCanonicalCache = *nocanon
 	opts.Strategy = strategy
 	// The head-to-head report reruns both strategies on the heaviest
 	// reduced circuits, so only retain them when the report is requested.
@@ -99,7 +104,31 @@ func main() {
 			fmt.Printf("shapley head-to-head %s/%s (n=%d, |C|=%d): per-fact %.2fms, gradient %.2fms (%.1fx)\n",
 				h.Dataset, h.Query, h.NumFacts, h.DNNFSize, h.PerFactMillis, h.GradientMillis, h.Speedup)
 		}
+		for _, p := range rep.WorkerScaling {
+			fmt.Printf("shapley worker scaling: workers=%d %.2fms (%.2fx)\n", p.Workers, p.Millis, p.Speedup)
+		}
 		fmt.Printf("wrote %s\n\n", *benchJS)
+	}
+
+	if *compJS != "" {
+		rep, err := bench.CompileBenchReport(ctx, corpus, []int{1, 2, 4}, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteCompileBench(*compJS, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		for _, inst := range rep.Instances {
+			fmt.Printf("compile head-to-head %s (%d clauses, %d components): serial %.2fms, best parallel %.2fx\n",
+				inst.Name, inst.NumClauses, inst.Components, inst.SerialMillis, inst.BestSpeedup)
+		}
+		for _, p := range rep.Canonical {
+			fmt.Printf("canonical cache %s: %d identical + %d renamed hits, %d misses (hit rate %.2f)\n",
+				p.Name, p.IdenticalHits, p.RenamedHits, p.Misses, p.HitRate)
+		}
+		fmt.Printf("wrote %s\n\n", *compJS)
 	}
 
 	if want["table1"] {
@@ -124,7 +153,8 @@ func main() {
 		section("Figure 5 — Algorithm 1 time vs lineitem scale")
 		points, err := bench.RunScaling(ctx, opts.TPCH, []float64{0.25, 0.5, 0.75, 1.0},
 			[]string{"q3", "q10", "q9", "q19"}, 2,
-			core.PipelineOptions{CompileTimeout: *timeout, ShapleyTimeout: *timeout, Workers: *workers, Strategy: strategy})
+			core.PipelineOptions{CompileTimeout: *timeout, ShapleyTimeout: *timeout,
+				Workers: *workers, CompileWorkers: *cworker, Strategy: strategy})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)

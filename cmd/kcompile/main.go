@@ -4,9 +4,11 @@
 // statistics, and the model count (optionally the full #SAT_k spectrum).
 //
 // Several input files compile concurrently across -workers goroutines with a
-// shared compiled-circuit cache, so a batch containing duplicate formulas
-// pays for each distinct one once; reports print in argument order. An
-// interrupt (Ctrl-C) cancels the in-flight compilations.
+// shared compiled-circuit cache keyed by canonical (rename-invariant) form,
+// so a batch containing duplicate — or renamed-isomorphic — formulas pays
+// for each distinct structure once; within one compilation, independent
+// components fan out across -compile-workers goroutines. Reports print in
+// argument order. An interrupt (Ctrl-C) cancels the in-flight compilations.
 //
 // Usage:
 //
@@ -41,7 +43,9 @@ func main() {
 		spectrum = flag.Bool("spectrum", false, "print #SAT_k for every Hamming weight k")
 		outPath  = flag.String("o", "", "write the compiled circuit in c2d nnf format to this file (single input only)")
 		workers  = flag.Int("workers", 0, "concurrent compilations across inputs (0 = GOMAXPROCS)")
+		cworkers = flag.Int("compile-workers", 0, "component fan-out within each compilation (0 = split GOMAXPROCS across the concurrent inputs, 1 = sequential)")
 		cacheSz  = flag.Int("cache", dnnf.DefaultCompileCacheSize, "compiled-circuit cache capacity shared across inputs (0 = disabled)")
+		nocanon  = flag.Bool("nocanon", false, "key the shared cache byte-identically instead of by canonical (rename-invariant) form")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -56,10 +60,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Split the CPU budget between cross-file concurrency and per-file
+	// component fan-out (mirroring repro.Explain's per-tuple split), so the
+	// defaults never schedule workers × compile-workers CPU-bound
+	// goroutines.
+	compileWorkers := *cworkers
+	if compileWorkers == 0 {
+		fileWorkers := parallel.Workers(*workers)
+		if fileWorkers > flag.NArg() {
+			fileWorkers = flag.NArg()
+		}
+		compileWorkers = parallel.Workers(0) / fileWorkers
+		if compileWorkers < 1 {
+			compileWorkers = 1
+		}
+	}
 	opts := dnnf.Options{
-		Timeout:      *timeout,
-		MaxNodes:     *maxNodes,
-		DisableCache: *noCache,
+		Timeout:          *timeout,
+		MaxNodes:         *maxNodes,
+		DisableCache:     *noCache,
+		Workers:          compileWorkers,
+		NoCanonicalCache: *nocanon,
 	}
 	if *order == "lex" {
 		opts.Order = dnnf.OrderLexicographic

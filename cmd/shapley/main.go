@@ -38,7 +38,9 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor for tpch/imdb")
 		method  = flag.String("method", "hybrid", "hybrid (exact with proxy fallback) or proxy (force CNF Proxy via zero budget)")
 		workers = flag.Int("workers", 0, "pipeline concurrency (0 = GOMAXPROCS, 1 = serial)")
+		cworker = flag.Int("compile-workers", 0, "knowledge-compiler component fan-out (0 = inherit the per-tuple worker share, negative = GOMAXPROCS, 1 = sequential)")
 		cache   = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, negative = disabled)")
+		nocanon = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of by canonical (rename-invariant) form")
 		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
 	)
 	flag.Parse()
@@ -60,7 +62,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := repro.Options{Timeout: *timeout, Workers: *workers, CacheSize: *cache, Strategy: strategy}
+	opts := repro.Options{
+		Timeout:          *timeout,
+		Workers:          *workers,
+		CompileWorkers:   *cworker,
+		CacheSize:        *cache,
+		NoCanonicalCache: *nocanon,
+		Strategy:         strategy,
+	}
 	if *method == "proxy" {
 		// A 1-node budget forces the proxy path without waiting.
 		opts.MaxNodes = 1

@@ -173,6 +173,65 @@ func TestRunScaling(t *testing.T) {
 	}
 }
 
+func TestCompileBenchReport(t *testing.T) {
+	c := runSmallCorpus(t)
+	rep, err := CompileBenchReport(context.Background(), c, []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) < 2 {
+		t.Fatalf("instances = %d, want at least the synthetic pair", len(rep.Instances))
+	}
+	sawMultiComponent := false
+	for _, inst := range rep.Instances {
+		if inst.Components >= 4 {
+			sawMultiComponent = true
+		}
+		if inst.SerialMillis <= 0 {
+			t.Errorf("%s: non-positive serial time", inst.Name)
+		}
+		for _, p := range inst.Parallel {
+			if p.Workers <= 1 || p.Millis <= 0 {
+				t.Errorf("%s: malformed parallel timing %+v", inst.Name, p)
+			}
+		}
+	}
+	if !sawMultiComponent {
+		t.Error("no instance with ≥ 4 top-level components — the parallel head-to-head has nothing to fan out")
+	}
+	if len(rep.Canonical) != 2 || len(rep.ByteIdentical) != 2 {
+		t.Fatalf("cache passes = %d canonical / %d byte-identical, want 2/2", len(rep.Canonical), len(rep.ByteIdentical))
+	}
+	// The permuted pass over renamed-isomorphic corpus CNFs is exactly what
+	// canonical keying exists for: it must hit, and the byte-identical
+	// control must miss.
+	if p := rep.Canonical[1]; p.RenamedHits == 0 {
+		t.Errorf("canonical permuted pass: no renamed hits (%+v)", p)
+	}
+	if p := rep.ByteIdentical[1]; p.IdenticalHits+p.RenamedHits != 0 {
+		t.Errorf("byte-identical permuted pass unexpectedly hit (%+v)", p)
+	}
+}
+
+func TestSyntheticComponentCNF(t *testing.T) {
+	f := SyntheticComponentCNF(4, 6, 10, 3)
+	if got := len(f.Clauses); got != 40 {
+		t.Fatalf("clauses = %d, want 40", got)
+	}
+	if f.MaxVar != 24 {
+		t.Fatalf("MaxVar = %d, want 24", f.MaxVar)
+	}
+	// Deterministic in the seed.
+	g := SyntheticComponentCNF(4, 6, 10, 3)
+	for i := range f.Clauses {
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != g.Clauses[i][j] {
+				t.Fatal("SyntheticComponentCNF is not deterministic")
+			}
+		}
+	}
+}
+
 func TestBinLabels(t *testing.T) {
 	cases := map[int]string{1: "1-10", 10: "1-10", 11: "11-25", 200: "101-200", 399: "201-400"}
 	for v, want := range cases {

@@ -1,0 +1,326 @@
+package bench
+
+// BENCH_compile.json: a machine-readable record of the knowledge-compilation
+// stage's performance, emitted by cmd/benchtables alongside
+// BENCH_shapley.json. The report has two parts: a serial-versus-parallel
+// head-to-head of dnnf.Compile on the heaviest corpus CNFs plus synthetic
+// multi-component instances (the workload the component fan-out targets),
+// and a cache experiment measuring canonical (rename-invariant) versus
+// byte-identical hit rates over the multi-tuple corpus — both on the natural
+// corpus, where distinct tuples of one query often have isomorphic lineage,
+// and on a randomly variable-permuted second pass, which isolates the
+// canonical layer's contribution.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/dnnf"
+)
+
+// CompileWorkerTiming is one worker-count measurement for one instance.
+type CompileWorkerTiming struct {
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"ms"`
+	Speedup float64 `json:"speedup"` // serial time / this time
+}
+
+// CompileBenchInstance is the serial-versus-parallel record for one CNF.
+type CompileBenchInstance struct {
+	Name         string                `json:"name"`
+	NumVars      int                   `json:"num_vars"`
+	NumClauses   int                   `json:"num_clauses"`
+	Components   int                   `json:"top_level_components"`
+	SerialMillis float64               `json:"serial_ms"`
+	Parallel     []CompileWorkerTiming `json:"parallel"`
+	BestSpeedup  float64               `json:"best_speedup"`
+}
+
+// CompileCachePass summarizes one pass of the cache experiment.
+type CompileCachePass struct {
+	Name          string  `json:"name"`
+	Compilations  int     `json:"compilations"`
+	IdenticalHits int64   `json:"identical_hits"`
+	RenamedHits   int64   `json:"renamed_hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// CompileBench is the top-level BENCH_compile.json document.
+type CompileBench struct {
+	GeneratedAt   string                 `json:"generated_at"`
+	MaxProcs      int                    `json:"maxprocs"`
+	WorkerCounts  []int                  `json:"worker_counts"`
+	Instances     []CompileBenchInstance `json:"instances"`
+	Canonical     []CompileCachePass     `json:"canonical_cache"`
+	ByteIdentical []CompileCachePass     `json:"byte_identical_cache"`
+}
+
+// SyntheticComponentCNF builds `blocks` variable-disjoint random 3-CNF
+// blocks: a compilation instance with exactly `blocks` nontrivial top-level
+// components, the shape on which component fan-out parallelizes best.
+// Clauses are width-3 (width-2 clauses propagate the blocks into triviality)
+// at a clause/variable ratio of clausesPer/varsPer; 2.5 with ~30 variables
+// per block gives tens of milliseconds of real search per block. The
+// construction is deterministic in seed.
+func SyntheticComponentCNF(blocks, varsPer, clausesPer int, seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	f := &cnf.Formula{Aux: map[int]bool{}}
+	for b := 0; b < blocks; b++ {
+		base := b * varsPer
+		for i := 0; i < clausesPer; i++ {
+			clause := make(cnf.Clause, 0, 3)
+			for j := 0; j < 3; j++ {
+				v := base + 1 + rng.Intn(varsPer)
+				l := cnf.Lit(v)
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				clause = append(clause, l)
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+	}
+	f.MaxVar = blocks * varsPer
+	return f
+}
+
+// permuteVars returns a copy of f with its variables renamed by a random
+// bijection into a disjoint id range, preserving polarities and auxiliary
+// markers — an isomorphic formula that only a canonical cache can recognize.
+func permuteVars(f *cnf.Formula, rng *rand.Rand) *cnf.Formula {
+	vars := f.Vars()
+	targets := make([]int, len(vars))
+	for i := range targets {
+		targets[i] = f.MaxVar + i + 1
+	}
+	rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+	m := make(map[int]int, len(vars))
+	for i, v := range vars {
+		m[v] = targets[i]
+	}
+	out := &cnf.Formula{Aux: make(map[int]bool)}
+	for _, cl := range f.Clauses {
+		rc := make(cnf.Clause, len(cl))
+		for i, l := range cl {
+			nv := cnf.Lit(m[l.Var()])
+			if !l.Positive() {
+				nv = -nv
+			}
+			rc[i] = nv
+		}
+		out.Clauses = append(out.Clauses, rc)
+	}
+	for v, isAux := range f.Aux {
+		if nv, ok := m[v]; ok {
+			out.Aux[nv] = isAux
+		}
+	}
+	for _, v := range out.Vars() {
+		if v > out.MaxVar {
+			out.MaxVar = v
+		}
+	}
+	return out
+}
+
+type namedCNF struct {
+	name string
+	f    *cnf.Formula
+}
+
+// compileInstances picks the head-to-head set: the heaviest successful
+// corpus CNFs plus synthetic instances with 4 and 8 nontrivial components.
+func compileInstances(c *Corpus, corpusTop int) []namedCNF {
+	tuples := c.SuccessfulTuples()
+	sort.Slice(tuples, func(i, j int) bool {
+		if tuples[i].NumClauses != tuples[j].NumClauses {
+			return tuples[i].NumClauses > tuples[j].NumClauses
+		}
+		return tuples[i].NumFacts > tuples[j].NumFacts
+	})
+	if corpusTop > len(tuples) {
+		corpusTop = len(tuples)
+	}
+	var out []namedCNF
+	for _, t := range tuples[:corpusTop] {
+		out = append(out, namedCNF{
+			name: fmt.Sprintf("%s/%s n=%d", t.Dataset, t.Query, t.NumFacts),
+			f:    t.CNF,
+		})
+	}
+	out = append(out,
+		namedCNF{name: "synthetic components=4", f: SyntheticComponentCNF(4, 30, 75, 7)},
+		namedCNF{name: "synthetic components=8", f: SyntheticComponentCNF(8, 30, 75, 11)},
+	)
+	return out
+}
+
+// timeCompile returns the best-of-rounds wall time of one configuration and
+// the compiled circuit's model count for cross-checking.
+func timeCompile(ctx context.Context, f *cnf.Formula, workers, rounds int) (time.Duration, error) {
+	best := time.Duration(0)
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		_, _, err := dnnf.Compile(ctx, f, dnnf.Options{Workers: workers, Timeout: 30 * time.Second})
+		elapsed := time.Since(t0)
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+// CompileBenchReport builds the BENCH_compile.json document from a finished
+// corpus run: per-instance serial-versus-parallel compile timings at the
+// given worker counts (each configuration cross-checked to produce the same
+// model count as the serial circuit), and canonical-versus-byte-identical
+// cache hit rates over the corpus CNFs in a natural pass and a
+// variable-permuted pass.
+func CompileBenchReport(ctx context.Context, c *Corpus, workerCounts []int, rounds int) (*CompileBench, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	rep := &CompileBench{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		MaxProcs:     runtime.GOMAXPROCS(0),
+		WorkerCounts: workerCounts,
+	}
+
+	for _, inst := range compileInstances(c, 3) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		serialRoot, _, err := dnnf.Compile(ctx, inst.f, dnnf.Options{Workers: 1, Timeout: 30 * time.Second})
+		if err != nil {
+			return nil, fmt.Errorf("bench: serial compile of %s: %w", inst.name, err)
+		}
+		universe := inst.f.Vars()
+		want := dnnf.CountModels(serialRoot, universe)
+		serial, err := timeCompile(ctx, inst.f, 1, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: timing %s serial: %w", inst.name, err)
+		}
+		rec := CompileBenchInstance{
+			Name:         inst.name,
+			NumVars:      len(universe),
+			NumClauses:   inst.f.NumClauses(),
+			Components:   dnnf.TopLevelComponents(inst.f),
+			SerialMillis: float64(serial) / float64(time.Millisecond),
+		}
+		for _, w := range workerCounts {
+			if w <= 1 {
+				continue
+			}
+			root, _, err := dnnf.Compile(ctx, inst.f, dnnf.Options{Workers: w, Timeout: 30 * time.Second})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s workers=%d: %w", inst.name, w, err)
+			}
+			if got := dnnf.CountModels(root, universe); got.Cmp(want) != 0 {
+				return nil, fmt.Errorf("bench: %s workers=%d: model count %v, want %v", inst.name, w, got, want)
+			}
+			elapsed, err := timeCompile(ctx, inst.f, w, rounds)
+			if err != nil {
+				return nil, fmt.Errorf("bench: timing %s workers=%d: %w", inst.name, w, err)
+			}
+			speedup := 0.0
+			if elapsed > 0 {
+				speedup = float64(serial) / float64(elapsed)
+			}
+			rec.Parallel = append(rec.Parallel, CompileWorkerTiming{
+				Workers: w,
+				Millis:  float64(elapsed) / float64(time.Millisecond),
+				Speedup: speedup,
+			})
+			if speedup > rec.BestSpeedup {
+				rec.BestSpeedup = speedup
+			}
+		}
+		rep.Instances = append(rep.Instances, rec)
+	}
+
+	var corpusCNFs []*cnf.Formula
+	for _, t := range c.SuccessfulTuples() {
+		if t.CNF != nil {
+			corpusCNFs = append(corpusCNFs, t.CNF)
+		}
+	}
+	canonical, err := cachePasses(ctx, corpusCNFs, false)
+	if err != nil {
+		return nil, err
+	}
+	rep.Canonical = canonical
+	byteIdentical, err := cachePasses(ctx, corpusCNFs, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.ByteIdentical = byteIdentical
+	return rep, nil
+}
+
+// cachePasses runs the two-pass cache experiment: a natural pass over the
+// corpus CNFs as the query pipeline produced them, then a permuted pass over
+// renamed-isomorphic copies. Pass statistics are deltas, so the permuted
+// pass shows exactly what the canonical layer adds over byte-identical keys.
+func cachePasses(ctx context.Context, formulas []*cnf.Formula, noCanon bool) ([]CompileCachePass, error) {
+	cache := dnnf.NewCompileCache(4 * len(formulas))
+	opts := dnnf.Options{Cache: cache, NoCanonicalCache: noCanon, Timeout: 30 * time.Second}
+	rng := rand.New(rand.NewSource(13))
+	var passes []CompileCachePass
+	var prevIdentical, prevRenamed, prevMisses int64
+	for _, pass := range []struct {
+		name    string
+		permute bool
+	}{
+		{"natural corpus", false},
+		{"permuted corpus", true},
+	} {
+		for _, f := range formulas {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			g := f
+			if pass.permute {
+				g = permuteVars(f, rng)
+			}
+			if _, _, err := dnnf.Compile(ctx, g, opts); err != nil {
+				return nil, fmt.Errorf("bench: cache pass %q: %w", pass.name, err)
+			}
+		}
+		identical, renamed, misses := cache.CanonicalStats()
+		di, dr, dm := identical-prevIdentical, renamed-prevRenamed, misses-prevMisses
+		prevIdentical, prevRenamed, prevMisses = identical, renamed, misses
+		rate := 0.0
+		if di+dr+dm > 0 {
+			rate = float64(di+dr) / float64(di+dr+dm)
+		}
+		passes = append(passes, CompileCachePass{
+			Name:          pass.name,
+			Compilations:  len(formulas),
+			IdenticalHits: di,
+			RenamedHits:   dr,
+			Misses:        dm,
+			HitRate:       rate,
+		})
+	}
+	return passes, nil
+}
+
+// WriteCompileBench writes the report as indented JSON.
+func WriteCompileBench(path string, rep *CompileBench) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -45,6 +45,12 @@ type Options struct {
 	// each tuple (≤ 0 = GOMAXPROCS, 1 = serial). Tuples themselves run
 	// serially so per-tuple timings stay comparable to the paper's.
 	Workers int
+	// CompileWorkers fans each tuple's knowledge compilation out across its
+	// CNF's independent components (≤ 0 = GOMAXPROCS, 1 = sequential).
+	CompileWorkers int
+	// NoCanonicalCache keys the compile cache byte-identically instead of
+	// canonically (only meaningful with CacheSize > 0).
+	NoCanonicalCache bool
 	// Strategy selects the Algorithm 1 evaluation mode (auto, per-fact, or
 	// gradient); the values are identical, only the cost differs.
 	Strategy core.ShapleyStrategy
@@ -238,12 +244,14 @@ func runTuple(ctx context.Context, dataset, qname string, a engine.Answer, endo 
 		NumFacts: len(circuit.Vars(a.Lineage)),
 	}
 	res, err := core.ExplainCircuit(ctx, a.Lineage, endo, core.PipelineOptions{
-		CompileTimeout:  opts.Timeout,
-		CompileMaxNodes: opts.MaxNodes,
-		ShapleyTimeout:  opts.Timeout,
-		Workers:         opts.Workers,
-		Strategy:        opts.Strategy,
-		Cache:           cache,
+		CompileTimeout:   opts.Timeout,
+		CompileMaxNodes:  opts.MaxNodes,
+		ShapleyTimeout:   opts.Timeout,
+		Workers:          opts.Workers,
+		CompileWorkers:   opts.CompileWorkers,
+		NoCanonicalCache: opts.NoCanonicalCache,
+		Strategy:         opts.Strategy,
+		Cache:            cache,
 	})
 	tr.CNF = res.CNF
 	tr.NumClauses = res.NumClauses

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -43,23 +44,38 @@ type StrategyComparison struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+// WorkerScalingPoint is one worker-count timing of Algorithm 1's per-fact
+// fan-out on the heaviest retained lineage. On a multi-core runner the
+// speedup column records the parallel scaling that a single-CPU development
+// box cannot show.
+type WorkerScalingPoint struct {
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"ms"`
+	Speedup float64 `json:"speedup"` // workers=1 time / this time
+}
+
 // ShapleyBench is the top-level BENCH_shapley.json document.
 type ShapleyBench struct {
-	GeneratedAt string               `json:"generated_at"`
-	Strategy    string               `json:"strategy"`
-	Tuples      []ShapleyBenchTuple  `json:"tuples"`
-	HeadToHead  []StrategyComparison `json:"head_to_head"`
+	GeneratedAt   string               `json:"generated_at"`
+	MaxProcs      int                  `json:"maxprocs"`
+	Strategy      string               `json:"strategy"`
+	Tuples        []ShapleyBenchTuple  `json:"tuples"`
+	HeadToHead    []StrategyComparison `json:"head_to_head"`
+	WorkerScaling []WorkerScalingPoint `json:"worker_scaling"`
 }
 
 // ShapleyBenchReport builds the JSON report from a finished corpus run. It
 // re-times both strategies on the headToHead largest successful lineages
 // (serially, workers=1, so the numbers isolate the algorithmic difference)
-// and verifies the two strategies agree exactly before reporting. The
-// head-to-head section requires the corpus to have been run with
-// Options.KeepDNNF; tuples without a retained circuit are skipped.
+// and verifies the two strategies agree exactly before reporting; it then
+// times the per-fact fan-out on the heaviest lineage at 1, 2, and 4 workers
+// (the worker-scaling record the single-CPU development box cannot produce).
+// Both sections require the corpus to have been run with Options.KeepDNNF;
+// tuples without a retained circuit are skipped.
 func ShapleyBenchReport(ctx context.Context, c *Corpus, strategy core.ShapleyStrategy, headToHead int) (*ShapleyBench, error) {
 	rep := &ShapleyBench{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		MaxProcs:    runtime.GOMAXPROCS(0),
 		Strategy:    strategy.String(),
 	}
 	for _, t := range c.Tuples() {
@@ -96,7 +112,55 @@ func ShapleyBenchReport(ctx context.Context, c *Corpus, strategy core.ShapleyStr
 		}
 		rep.HeadToHead = append(rep.HeadToHead, *cmp)
 	}
+
+	for _, t := range candidates {
+		if t.DNNF == nil {
+			continue
+		}
+		scaling, err := workerScaling(ctx, t, []int{1, 2, 4})
+		if err != nil {
+			return nil, err
+		}
+		rep.WorkerScaling = scaling
+		break
+	}
 	return rep, nil
+}
+
+// workerScaling times the per-fact strategy at the given worker counts on
+// one tuple's reduced circuit, cross-checking that every configuration
+// produces the workers=1 values exactly.
+func workerScaling(ctx context.Context, t *TupleResult, workerCounts []int) ([]WorkerScalingPoint, error) {
+	var points []WorkerScalingPoint
+	var serial time.Duration
+	var serialValues core.Values
+	for _, w := range workerCounts {
+		t0 := time.Now()
+		values, err := core.ShapleyAllStrategy(ctx, t.DNNF, t.Endo, w, core.StrategyPerFact)
+		if err != nil {
+			return nil, fmt.Errorf("bench: worker scaling on %s/%s workers=%d: %w", t.Dataset, t.Query, w, err)
+		}
+		elapsed := time.Since(t0)
+		if serialValues == nil {
+			serial, serialValues = elapsed, values
+		} else {
+			for f, sv := range serialValues {
+				if pv := values[f]; pv == nil || pv.Cmp(sv) != 0 {
+					return nil, fmt.Errorf("bench: worker scaling on %s/%s workers=%d: fact %d diverges", t.Dataset, t.Query, w, f)
+				}
+			}
+		}
+		speedup := 0.0
+		if elapsed > 0 {
+			speedup = float64(serial) / float64(elapsed)
+		}
+		points = append(points, WorkerScalingPoint{
+			Workers: w,
+			Millis:  float64(elapsed) / float64(time.Millisecond),
+			Speedup: speedup,
+		})
+	}
+	return points, nil
 }
 
 func compareStrategies(ctx context.Context, t *TupleResult) (*StrategyComparison, error) {

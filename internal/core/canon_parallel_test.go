@@ -1,0 +1,168 @@
+package core
+
+// Tests for the two PR-3 compiler features as seen from the Shapley layer:
+// the canonical (rename-invariant) compile cache must leave every Shapley
+// value big.Rat-identical to cold compilation, and the parallel compiler
+// must produce circuits with identical #SAT_k spectra at every worker count.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/dnnf"
+)
+
+// renameCircuit rebuilds a lineage circuit with every variable mapped
+// through m, preserving structure exactly.
+func renameCircuit(b *circuit.Builder, n *circuit.Node, m map[circuit.Var]circuit.Var) *circuit.Node {
+	memo := make(map[int]*circuit.Node)
+	var rec func(*circuit.Node) *circuit.Node
+	rec = func(nd *circuit.Node) *circuit.Node {
+		if r, ok := memo[nd.ID()]; ok {
+			return r
+		}
+		var r *circuit.Node
+		switch nd.Kind {
+		case circuit.KindConst:
+			r = b.Const(nd.Val)
+		case circuit.KindVar:
+			r = b.Variable(m[nd.Var])
+		case circuit.KindNot:
+			r = b.Not(rec(nd.Children[0]))
+		case circuit.KindAnd, circuit.KindOr:
+			cs := make([]*circuit.Node, len(nd.Children))
+			for i, c := range nd.Children {
+				cs[i] = rec(c)
+			}
+			if nd.Kind == circuit.KindAnd {
+				r = b.And(cs...)
+			} else {
+				r = b.Or(cs...)
+			}
+		}
+		memo[nd.ID()] = r
+		return r
+	}
+	return rec(n)
+}
+
+// TestCanonicalCacheShapleyIdenticalAcrossRenaming is the acceptance test
+// for rename-invariant caching at the pipeline level: explaining a lineage
+// whose facts are a renamed copy of an already-explained one must hit the
+// shared cache via relabeling, and every Shapley value must be
+// big.Rat-identical to what a cold compilation computes.
+func TestCanonicalCacheShapleyIdenticalAcrossRenaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	hits := 0
+	for trial := 0; trial < 40; trial++ {
+		cb := circuit.NewBuilder()
+		elin := randomMonotoneCircuit(rng, cb, 2+rng.Intn(5), 3)
+		endo := endoOf(elin)
+		if len(endo) == 0 {
+			continue
+		}
+
+		// Rename every fact id by a shifted random bijection.
+		vars := circuit.Vars(elin)
+		targets := make([]circuit.Var, len(vars))
+		for i := range targets {
+			targets[i] = circuit.Var(20 + i + 1)
+		}
+		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+		m := make(map[circuit.Var]circuit.Var, len(vars))
+		for i, v := range vars {
+			m[v] = targets[i]
+		}
+		renamed := renameCircuit(circuit.NewBuilder(), elin, m)
+		renamedEndo := make([]db.FactID, len(endo))
+		for i, f := range endo {
+			renamedEndo[i] = db.FactID(m[circuit.Var(f)])
+		}
+
+		cache := dnnf.NewCompileCache(8)
+		first, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := ExplainCircuit(context.Background(), renamed, renamedEndo, PipelineOptions{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := ExplainCircuit(context.Background(), renamed, renamedEndo, PipelineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.CompileStats.CrossCallHit {
+			hits++
+			if !warm.CompileStats.RenamedHit {
+				t.Fatalf("trial %d: hit on shifted fact ids did not relabel", trial)
+			}
+		}
+		valuesIdentical(t, warm.Values, cold.Values, "warm (renamed hit) vs cold pipeline")
+		// And the values must equal the original lineage's values pushed
+		// through the renaming.
+		for f, v := range first.Values {
+			rf := db.FactID(m[circuit.Var(f)])
+			if w := warm.Values[rf]; w == nil || w.Cmp(v) != 0 {
+				t.Fatalf("trial %d: value of renamed fact %d = %v, want %v", trial, rf, warm.Values[rf], v)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no renamed lineage ever hit the canonical cache")
+	}
+}
+
+// TestParallelCompileSATkVectors is the race-coverage contract at the #SAT_k
+// level: circuits compiled with several worker counts (including 1) must
+// yield identical #SAT_k spectra on random CNFs. Run with -race this also
+// exercises the concurrent builder from the consumer side.
+func TestParallelCompileSATkVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 30; trial++ {
+		f := randomTestCNF(rng, 2+rng.Intn(6), 1+rng.Intn(10))
+		universe := f.Vars()
+		serial, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PadToUniverse(ComputeAllSATk(serial), len(universe)-len(serial.Vars()))
+		for _, workers := range []int{1, 2, 4, 8} {
+			par, _, err := dnnf.Compile(context.Background(), f, dnnf.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			got := PadToUniverse(ComputeAllSATk(par), len(universe)-len(par.Vars()))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers=%d: spectrum length %d, want %d", trial, workers, len(got), len(want))
+			}
+			for k := range want {
+				if got[k].Cmp(want[k]) != 0 {
+					t.Fatalf("trial %d workers=%d: #SAT_%d = %v, want %v", trial, workers, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineParallelCompileMatchesSerial runs the whole exact pipeline
+// with a parallel compiler on the flights fixture and checks the values
+// against the sequential-compiler run.
+func TestPipelineParallelCompileMatchesSerial(t *testing.T) {
+	elin, endo, fs := flightsELin(t)
+	serial, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{CompileWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := ExplainCircuit(context.Background(), elin, endo, PipelineOptions{CompileWorkers: workers})
+		if err != nil {
+			t.Fatalf("compile workers=%d: %v", workers, err)
+		}
+		valuesIdentical(t, par.Values, serial.Values, "parallel-compile vs serial-compile pipeline")
+		ratEq(t, par.Values[fs.A[1].ID], 43, 105, "parallel-compile Shapley(a1)")
+	}
+}

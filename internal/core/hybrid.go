@@ -51,6 +51,11 @@ type HybridOptions struct {
 	MaxNodes int
 	// Workers fans Algorithm 1 out across goroutines (≤ 0 = GOMAXPROCS).
 	Workers int
+	// CompileWorkers fans the knowledge compiler's component decomposition
+	// out across goroutines (≤ 0 = GOMAXPROCS, 1 = sequential).
+	CompileWorkers int
+	// NoCanonicalCache keys Cache byte-identically instead of canonically.
+	NoCanonicalCache bool
 	// Strategy selects the Algorithm 1 evaluation mode (auto, per-fact, or
 	// gradient).
 	Strategy ShapleyStrategy
@@ -67,12 +72,14 @@ type HybridOptions struct {
 func Hybrid(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts HybridOptions) (*HybridResult, error) {
 	start := time.Now()
 	popts := PipelineOptions{
-		CompileTimeout:  opts.Timeout,
-		ShapleyTimeout:  opts.Timeout,
-		CompileMaxNodes: opts.MaxNodes,
-		Workers:         opts.Workers,
-		Strategy:        opts.Strategy,
-		Cache:           opts.Cache,
+		CompileTimeout:   opts.Timeout,
+		ShapleyTimeout:   opts.Timeout,
+		CompileMaxNodes:  opts.MaxNodes,
+		Workers:          opts.Workers,
+		CompileWorkers:   opts.CompileWorkers,
+		NoCanonicalCache: opts.NoCanonicalCache,
+		Strategy:         opts.Strategy,
+		Cache:            opts.Cache,
 	}
 	res, err := ExplainCircuit(ctx, elin, endo, popts)
 	if err == nil {

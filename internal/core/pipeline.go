@@ -33,6 +33,14 @@ type PipelineOptions struct {
 	// across facts in per-fact mode, across the nodes of each circuit level
 	// in gradient mode. Results are identical for every setting.
 	Workers int
+	// CompileWorkers is the knowledge compiler's intra-compilation fan-out:
+	// independent connected components compile concurrently across up to
+	// this many goroutines (≤ 0 = GOMAXPROCS, 1 = the sequential compiler).
+	// Circuits are semantically identical for every setting.
+	CompileWorkers int
+	// NoCanonicalCache keys Cache by the byte-identical CNF instead of the
+	// rename-invariant canonical form (ablation; canonical is the default).
+	NoCanonicalCache bool
 	// Strategy selects the Algorithm 1 evaluation mode (StrategyAuto picks
 	// gradient for large n·|C|, per-fact otherwise; both are exact and
 	// big.Rat-identical).
@@ -84,11 +92,13 @@ func ExplainCircuit(ctx context.Context, elin *circuit.Node, endo []db.FactID, o
 
 	t1 := time.Now()
 	compiled, stats, err := dnnf.Compile(ctx, formula, dnnf.Options{
-		Timeout:      opts.CompileTimeout,
-		MaxNodes:     opts.CompileMaxNodes,
-		DisableCache: opts.DisableCache,
-		Order:        opts.Order,
-		Cache:        opts.Cache,
+		Timeout:          opts.CompileTimeout,
+		MaxNodes:         opts.CompileMaxNodes,
+		DisableCache:     opts.DisableCache,
+		Order:            opts.Order,
+		Cache:            opts.Cache,
+		Workers:          opts.CompileWorkers,
+		NoCanonicalCache: opts.NoCanonicalCache,
 	})
 	res.CompileStats = stats
 	if err != nil {

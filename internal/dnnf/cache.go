@@ -17,11 +17,15 @@ import (
 // provenance Tseytin-encodes to the same CNF) reuse the compiled circuit
 // instead of recompiling it from scratch.
 //
-// Keys are the canonical clause-set signature extended with the formula's
-// auxiliary-variable set, so two formulas with equal clauses but different
-// Tseytin bookkeeping never alias. Values are immutable node DAGs; sharing
-// them between concurrent readers is safe because Nodes are never mutated
-// after construction.
+// Keys are, by default, the canonical (rename-invariant) clause-hypergraph
+// signature — so distinct tuples whose provenance is isomorphic modulo
+// variable renaming share one compilation, with the circuit relabeled to
+// each caller's variables on a hit — extended with the compilation options
+// and the formula's auxiliary-variable bookkeeping, so equal clause
+// structure under different Tseytin bookkeeping never aliases. With
+// Options.NoCanonicalCache the key degrades to the byte-identical formula
+// signature. Values are immutable node DAGs; sharing them between concurrent
+// readers is safe because Nodes are never mutated after construction.
 type CompileCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -30,6 +34,7 @@ type CompileCache struct {
 	inflight map[string]*sync.WaitGroup
 	hits     int64
 	misses   int64
+	renamed  int64
 }
 
 type cacheEntry struct {
@@ -40,6 +45,11 @@ type cacheEntry struct {
 	// hits reproduce the cold outcome instead of measuring the (smaller)
 	// final DAG.
 	nodes int
+	// fromCanon maps canonical variable indices back to the variables of
+	// the compilation that populated this entry; nil for byte-identical
+	// (non-canonical) entries. A hit composes it with the caller's own
+	// canonical map to relabel root into the caller's variable space.
+	fromCanon map[int]int
 }
 
 // DefaultCompileCacheSize is the capacity used when a knob asks for "a
@@ -84,30 +94,46 @@ func (c *CompileCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
-func (c *CompileCache) get(key string) (root *Node, nodes int, ok bool) {
+// CanonicalStats splits the cumulative hit count into identical hits (the
+// caller's formula matched the cached one byte-for-byte, or keying was
+// non-canonical) and renamed hits (served through a nontrivial canonical
+// relabeling), alongside the miss count.
+func (c *CompileCache) CanonicalStats() (identical, renamed, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits - c.renamed, c.renamed, c.misses
+}
+
+// noteRenamed records that a hit required relabeling the cached circuit.
+func (c *CompileCache) noteRenamed() {
+	c.mu.Lock()
+	c.renamed++
+	c.mu.Unlock()
+}
+
+func (c *CompileCache) get(key string) (*cacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, found := c.entries[key]
 	if !found {
 		c.misses++
-		return nil, 0, false
+		return nil, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
-	return e.root, e.nodes, true
+	return el.Value.(*cacheEntry), true
 }
 
-func (c *CompileCache) put(key string, root *Node, nodes int) {
+func (c *CompileCache) put(key string, root *Node, nodes int, fromCanon map[int]int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		e.root, e.nodes = root, nodes
+		e.root, e.nodes, e.fromCanon = root, nodes, fromCanon
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, root: root, nodes: nodes})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, root: root, nodes: nodes, fromCanon: fromCanon})
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -139,14 +165,17 @@ func (c *CompileCache) release(key string) {
 	delete(c.inflight, key)
 }
 
-// formulaSignature renders a formula canonically for cross-call cache
-// lookups: the normalized clause-set signature (the same canonical form the
-// component cache uses), the compilation-affecting options (branching order
-// and component-cache ablation — a hit must return a circuit compiled under
-// the configuration the caller asked to measure), plus the
-// auxiliary-variable markers.
+// formulaSignature renders a formula byte-identically for cross-call cache
+// lookups under Options.NoCanonicalCache: the normalized clause-set
+// signature (the same form the component cache uses), the
+// compilation-affecting options (branching order and component-cache
+// ablation — a hit must return a circuit compiled under the configuration
+// the caller asked to measure), plus the auxiliary-variable markers. The
+// "b:" prefix keeps this keyspace disjoint from canonical signatures in a
+// shared cache.
 func formulaSignature(clauses []cnf.Clause, f *cnf.Formula, opts Options) string {
 	var sb strings.Builder
+	sb.WriteString("b:")
 	sb.WriteString(cacheKey(clauses))
 	sb.WriteByte('|')
 	sb.WriteString(strconv.Itoa(int(opts.Order)))

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/parallel"
 )
 
 // Compilation errors. A compilation that exceeds its time or size budget
@@ -48,6 +51,20 @@ type Options struct {
 	// and updated after: repeated compilations of the same formula return
 	// the previously compiled circuit. Safe for concurrent use.
 	Cache *CompileCache
+	// Workers bounds intra-compilation parallelism: independent connected
+	// components of the residual clause set fan out across up to Workers
+	// goroutines (≤ 0 = GOMAXPROCS). Workers == 1 is the fully sequential
+	// compiler and produces the exact circuit (node IDs included) the
+	// pre-parallel implementation did; higher counts produce semantically
+	// identical circuits whose node numbering depends on scheduling.
+	Workers int
+	// NoCanonicalCache keys the cross-call Cache by the byte-identical
+	// formula signature instead of the rename-invariant canonical form
+	// (ablation). With canonical keying — the default — compilations of
+	// formulas that are equal up to a variable renaming share one cache
+	// entry; the cached circuit is relabeled to the caller's variables on
+	// each hit.
+	NoCanonicalCache bool
 }
 
 // Stats reports compilation effort.
@@ -62,22 +79,56 @@ type Stats struct {
 	// CrossCallHit reports that the whole compilation was answered from a
 	// cross-call CompileCache, in which case the effort counters are zero.
 	CrossCallHit bool
+	// RenamedHit reports that the cross-call hit was served under the
+	// canonical key for a formula that differed from the cached one by a
+	// variable renaming, so the circuit was relabeled for this caller.
+	RenamedHit bool
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("decisions=%d props=%d cacheHits=%d cacheMisses=%d components=%d nodes=%d crossHit=%v elapsed=%v",
-		s.Decisions, s.Propagations, s.CacheHits, s.CacheMisses, s.Components, s.Nodes, s.CrossCallHit, s.Elapsed)
+	return fmt.Sprintf("decisions=%d props=%d cacheHits=%d cacheMisses=%d components=%d nodes=%d crossHit=%v renamedHit=%v elapsed=%v",
+		s.Decisions, s.Propagations, s.CacheHits, s.CacheMisses, s.Components, s.Nodes, s.CrossCallHit, s.RenamedHit, s.Elapsed)
 }
 
-// compiler carries the mutable compilation state.
+// parallelComponentFloor is the size cutoff for fanning a component out to
+// another goroutine: components with fewer clauses compile in about the time
+// a goroutine handoff costs, so they stay on the current worker.
+const parallelComponentFloor = 8
+
+// compiler carries the mutable compilation state. All fields written during
+// the recursion are either atomic or mutex-guarded, because the component
+// fan-out may run subproblems on several goroutines at once.
 type compiler struct {
 	ctx      context.Context
 	b        *Builder
 	opts     Options
-	cache    map[string]*Node
-	stats    Stats
 	deadline time.Time
-	steps    int
+	// limit is the spawn budget for component fan-out; nil means the fully
+	// sequential compiler.
+	limit *parallel.Limit
+
+	cacheMu sync.RWMutex
+	cache   map[string]*Node
+
+	decisions    atomic.Int64
+	propagations atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	components   atomic.Int64
+	steps        atomic.Int64
+}
+
+// snapshot folds the atomic counters into a Stats value.
+func (c *compiler) snapshot(start time.Time) Stats {
+	return Stats{
+		Decisions:    int(c.decisions.Load()),
+		Propagations: int(c.propagations.Load()),
+		CacheHits:    int(c.cacheHits.Load()),
+		CacheMisses:  int(c.cacheMisses.Load()),
+		Components:   int(c.components.Load()),
+		Nodes:        c.b.NumNodes(),
+		Elapsed:      time.Since(start),
+	}
 }
 
 // Compile translates a CNF formula into an equivalent d-DNNF using
@@ -94,6 +145,7 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 		b:     NewBuilder(),
 		opts:  opts,
 		cache: make(map[string]*Node),
+		limit: parallel.NewLimit(parallel.Workers(opts.Workers) - 1),
 	}
 	if opts.Timeout > 0 {
 		c.deadline = start.Add(opts.Timeout)
@@ -105,30 +157,65 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 			continue
 		}
 		if len(norm) == 0 {
-			return c.b.False(), c.stats, nil
+			return c.b.False(), c.snapshot(start), nil
 		}
 		clauses = append(clauses, norm)
 	}
 	var signature string
+	var toCanon map[int]int
 	if opts.Cache != nil {
-		signature = formulaSignature(clauses, f, opts)
+		if opts.NoCanonicalCache {
+			signature = formulaSignature(clauses, f, opts)
+		} else {
+			// Canonicalization honors the same budget as the compilation
+			// proper, so a pathological labeling cannot outlive the
+			// caller's deadline or ignore cancellation.
+			budget := func() error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+					return ErrTimeout
+				}
+				return nil
+			}
+			var canonKey string
+			var err error
+			toCanon, canonKey, err = canonicalForm(clauses, func(v int) bool { return f.Aux[v] }, budget)
+			if err != nil {
+				return nil, c.snapshot(start), err
+			}
+			signature = canonicalSignature(canonKey, toCanon, f, opts)
+		}
 		// Single-flight loop: serve a hit, or become the leader and
 		// compile, or wait for the in-flight leader and re-check. Waiters
 		// of a failed leader contend to lead the next round, so duplicate
 		// formulas compiled concurrently still pay for one compilation.
 		for {
-			if root, nodes, ok := opts.Cache.get(signature); ok {
-				if opts.MaxNodes > 0 && nodes > opts.MaxNodes {
+			if entry, ok := opts.Cache.get(signature); ok {
+				if opts.MaxNodes > 0 && entry.nodes > opts.MaxNodes {
 					// The node budget models memory exhaustion; comparing
 					// against the original compilation's allocation count
 					// makes a warm hit fail exactly where a cold compile
 					// would, independent of cache warmth.
-					return nil, c.stats, ErrNodeBudget
+					return nil, c.snapshot(start), ErrNodeBudget
 				}
-				c.stats.CrossCallHit = true
-				c.stats.Nodes = nodes
-				c.stats.Elapsed = time.Since(start)
-				return root, c.stats, nil
+				root, renamed, ok := rebindCached(entry, toCanon)
+				if !ok {
+					// The stored renaming does not line up with this
+					// caller's (it can only happen after a hash-collision
+					// canonicalization defect); compile fresh rather than
+					// serve a miswired circuit.
+					break
+				}
+				if renamed {
+					opts.Cache.noteRenamed()
+				}
+				stats := c.snapshot(start)
+				stats.CrossCallHit = true
+				stats.RenamedHit = renamed
+				stats.Nodes = entry.nodes
+				return root, stats, nil
 			}
 			leader, wait := opts.Cache.acquire(signature)
 			if leader {
@@ -138,21 +225,84 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 			wait()
 		}
 	}
-	root, err := c.compile(clauses)
-	c.stats.Elapsed = time.Since(start)
-	c.stats.Nodes = c.b.NumNodes()
+	root, err := c.compile(clauses, 0)
+	stats := c.snapshot(start)
 	if err != nil {
-		return nil, c.stats, err
+		return nil, stats, err
 	}
 	if opts.Cache != nil {
-		opts.Cache.put(signature, root, c.stats.Nodes)
+		opts.Cache.put(signature, root, stats.Nodes, invertRenaming(toCanon))
 	}
-	return root, c.stats, nil
+	return root, stats, nil
+}
+
+// rebindCached maps a cache entry's circuit into the caller's variable
+// space. Byte-identical entries (fromCanon == nil) are returned as-is;
+// canonical entries are relabeled through canon unless the composite
+// renaming is the identity. The final return is false when the two
+// renamings are inconsistent — a sign the entry must not be served.
+func rebindCached(entry *cacheEntry, toCanon map[int]int) (root *Node, renamed, ok bool) {
+	if entry.fromCanon == nil {
+		return entry.root, false, true
+	}
+	if len(entry.fromCanon) != len(toCanon) {
+		return nil, false, false
+	}
+	fromCanon := invertRenaming(toCanon)
+	m := make(map[int]int, len(entry.fromCanon))
+	identity := true
+	for canon, cachedVar := range entry.fromCanon {
+		callerVar, exists := fromCanon[canon]
+		if !exists {
+			return nil, false, false
+		}
+		m[cachedVar] = callerVar
+		if cachedVar != callerVar {
+			identity = false
+		}
+	}
+	if identity {
+		return entry.root, false, true
+	}
+	return Relabel(NewBuilder(), entry.root, m), true, true
+}
+
+// invertRenaming flips a var→canon map into canon→var; nil stays nil.
+func invertRenaming(toCanon map[int]int) map[int]int {
+	if toCanon == nil {
+		return nil
+	}
+	out := make(map[int]int, len(toCanon))
+	for v, canon := range toCanon {
+		out[canon] = v
+	}
+	return out
 }
 
 // normalizeClause sorts literals, removes duplicates, and detects
-// tautologies (clauses containing both v and ¬v).
+// tautologies (clauses containing both v and ¬v). Clauses that are already
+// strictly sorted and duplicate-free — the common case for clauses that
+// round-trip through the parser or arrive pre-normalized — are returned
+// as-is, without copying.
 func normalizeClause(cl cnf.Clause) (cnf.Clause, bool) {
+	clean := true
+	for i := 1; i < len(cl); i++ {
+		prev, cur := cl[i-1], cl[i]
+		pv, cv := prev.Var(), cur.Var()
+		if pv < cv {
+			continue
+		}
+		if pv == cv && prev == -cur {
+			// Both polarities of one variable: a tautology no matter how
+			// the rest of the clause is ordered.
+			return nil, true
+		}
+		clean = false
+		break
+	}
+	if clean {
+		return cl, false
+	}
 	out := make(cnf.Clause, len(cl))
 	copy(out, cl)
 	sort.Slice(out, func(i, j int) bool {
@@ -177,8 +327,7 @@ func normalizeClause(cl cnf.Clause) (cnf.Clause, bool) {
 }
 
 func (c *compiler) checkBudget() error {
-	c.steps++
-	if c.steps%64 == 0 {
+	if c.steps.Add(1)%64 == 0 {
 		if err := c.ctx.Err(); err != nil {
 			return err
 		}
@@ -192,16 +341,22 @@ func (c *compiler) checkBudget() error {
 	return nil
 }
 
+// parallelSpawnDepth caps how deep in the decision recursion component
+// fan-out may still spawn goroutines: past it, subproblems are small enough
+// that handoff overhead dominates, even when the clause-count floor passes.
+const parallelSpawnDepth = 32
+
 // compile compiles a set of normalized clauses (no duplicates or
-// tautologies) into a d-DNNF node.
-func (c *compiler) compile(clauses []cnf.Clause) (*Node, error) {
+// tautologies) into a d-DNNF node. depth counts Shannon decisions above this
+// call and gates the parallel fan-out.
+func (c *compiler) compile(clauses []cnf.Clause, depth int) (*Node, error) {
 	if err := c.checkBudget(); err != nil {
 		return nil, err
 	}
 
 	// Unit propagation.
 	units, rest, conflict := propagate(clauses)
-	c.stats.Propagations += len(units)
+	c.propagations.Add(int64(len(units)))
 	if conflict {
 		return c.b.False(), nil
 	}
@@ -216,41 +371,82 @@ func (c *compiler) compile(clauses []cnf.Clause) (*Node, error) {
 	// Connected-component decomposition.
 	comps := components(rest)
 	if len(comps) > 1 {
-		c.stats.Components++
+		c.components.Add(1)
 	}
-	parts := unitNodes
-	for _, comp := range comps {
-		node, err := c.compileComponent(comp)
+	nodes, err := c.compileComponents(comps, depth)
+	if err != nil {
+		return nil, err
+	}
+	return c.b.And(append(unitNodes, nodes...)...), nil
+}
+
+// compileComponents compiles each component, fanning them out across the
+// spawn budget when one is configured. Components are independent
+// subproblems (disjoint variables), so any interleaving builds the same
+// hash-consed nodes; results are assembled in component order either way.
+func (c *compiler) compileComponents(comps [][]cnf.Clause, depth int) ([]*Node, error) {
+	nodes := make([]*Node, len(comps))
+	if c.limit == nil || len(comps) == 1 || depth > parallelSpawnDepth {
+		for i, comp := range comps {
+			n, err := c.compileComponent(comp, depth)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i] = n
+		}
+		return nodes, nil
+	}
+	errs := make([]error, len(comps))
+	var wg sync.WaitGroup
+	for i := 1; i < len(comps); i++ {
+		i := i
+		if len(comps[i]) >= parallelComponentFloor &&
+			c.limit.Go(&wg, func() { nodes[i], errs[i] = c.compileComponent(comps[i], depth) }) {
+			continue
+		}
+		nodes[i], errs[i] = c.compileComponent(comps[i], depth)
+	}
+	// The current goroutine takes the first component itself — with no spare
+	// tokens the whole loop degenerates to the sequential order shifted by
+	// one, and with tokens it overlaps with the spawned workers.
+	nodes[0], errs[0] = c.compileComponent(comps[0], depth)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		parts = append(parts, node)
 	}
-	return c.b.And(parts...), nil
+	return nodes, nil
 }
 
 // compileComponent compiles a single connected component, consulting the
 // component cache.
-func (c *compiler) compileComponent(clauses []cnf.Clause) (*Node, error) {
+func (c *compiler) compileComponent(clauses []cnf.Clause, depth int) (*Node, error) {
 	var key string
 	if !c.opts.DisableCache {
 		key = cacheKey(clauses)
-		if n, ok := c.cache[key]; ok {
-			c.stats.CacheHits++
+		c.cacheMu.RLock()
+		n := c.cache[key]
+		c.cacheMu.RUnlock()
+		if n != nil {
+			c.cacheHits.Add(1)
 			return n, nil
 		}
-		c.stats.CacheMisses++
+		// Concurrent workers may both miss the same component and compile
+		// it twice; the builder's hash-consing collapses the duplicates to
+		// one node, so the only cost is the redundant search effort.
+		c.cacheMisses.Add(1)
 	}
 
 	v := c.pickVar(clauses)
-	c.stats.Decisions++
+	c.decisions.Add(1)
 
 	hiClauses, hiEmpty := assign(clauses, cnf.Lit(v))
 	var hi *Node
 	var err error
 	if hiEmpty {
 		hi = c.b.False()
-	} else if hi, err = c.compile(hiClauses); err != nil {
+	} else if hi, err = c.compile(hiClauses, depth+1); err != nil {
 		return nil, err
 	}
 
@@ -258,13 +454,15 @@ func (c *compiler) compileComponent(clauses []cnf.Clause) (*Node, error) {
 	var lo *Node
 	if loEmpty {
 		lo = c.b.False()
-	} else if lo, err = c.compile(loClauses); err != nil {
+	} else if lo, err = c.compile(loClauses, depth+1); err != nil {
 		return nil, err
 	}
 
 	n := c.b.Decision(v, hi, lo)
 	if !c.opts.DisableCache {
+		c.cacheMu.Lock()
 		c.cache[key] = n
+		c.cacheMu.Unlock()
 	}
 	return n, nil
 }
@@ -443,6 +641,21 @@ func components(clauses []cnf.Clause) [][]cnf.Clause {
 		out = append(out, groups[r])
 	}
 	return out
+}
+
+// TopLevelComponents reports how many connected components the formula's
+// normalized clause set splits into before any propagation — the number of
+// independent subproblems the parallel compiler can fan out immediately.
+func TopLevelComponents(f *cnf.Formula) int {
+	clauses := make([]cnf.Clause, 0, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		norm, taut := normalizeClause(cl)
+		if taut || len(norm) == 0 {
+			continue
+		}
+		clauses = append(clauses, norm)
+	}
+	return len(components(clauses))
 }
 
 // cacheKey renders a clause set canonically. Clauses are assumed

@@ -15,6 +15,8 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Kind enumerates d-DNNF node kinds.
@@ -51,22 +53,70 @@ func (n *Node) ID() int { return n.id }
 // callers must not modify it.
 func (n *Node) Vars() []int { return n.vars }
 
-// Builder hash-conses d-DNNF nodes.
+// numShards is the unique-table shard count of a Builder. Sharding keeps the
+// hash-consing critical sections short when the parallel compiler's workers
+// intern nodes concurrently; 16 shards comfortably cover the worker counts
+// the compiler runs with.
+const numShards = 16
+
+// nodeShard is one mutex-guarded slice of a unique-table.
+type nodeShard struct {
+	mu sync.RWMutex
+	m  map[string]*Node
+}
+
+// intern returns the node stored under key, constructing it with mk (under
+// the shard lock, so exactly one node per key is ever published) on a miss.
+func (s *nodeShard) intern(key string, mk func() *Node) *Node {
+	s.mu.RLock()
+	n := s.m[key]
+	s.mu.RUnlock()
+	if n != nil {
+		return n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.m[key]; n != nil {
+		return n
+	}
+	n = mk()
+	s.m[key] = n
+	return n
+}
+
+// shardIndex hashes an intern key to a shard (FNV-1a; constants shared with
+// the canonicalization hashing in canon.go).
+func shardIndex(key string) int {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return int(h % numShards)
+}
+
+// Builder hash-conses d-DNNF nodes. It is safe for concurrent use: the
+// parallel compiler's workers intern nodes into the same builder, so
+// structurally equal subcircuits built on different goroutines still collapse
+// to one node. Node IDs are allocated atomically; under a single goroutine
+// (the sequential compiler) the allocation order — and therefore the entire
+// built circuit — is identical to the pre-concurrent builder's.
 type Builder struct {
-	nextID int
+	nextID atomic.Int64
 	trueN  *Node
 	falseN *Node
+	litMu  sync.RWMutex
 	lits   map[int]*Node
-	ands   map[string]*Node
-	ors    map[string]*Node
+	ands   [numShards]nodeShard
+	ors    [numShards]nodeShard
 }
 
 // NewBuilder returns an empty builder.
 func NewBuilder() *Builder {
-	b := &Builder{
-		lits: make(map[int]*Node),
-		ands: make(map[string]*Node),
-		ors:  make(map[string]*Node),
+	b := &Builder{lits: make(map[int]*Node)}
+	for i := range b.ands {
+		b.ands[i].m = make(map[string]*Node)
+		b.ors[i].m = make(map[string]*Node)
 	}
 	b.trueN = &Node{Kind: KindTrue, id: b.fresh()}
 	b.falseN = &Node{Kind: KindFalse, id: b.fresh()}
@@ -74,13 +124,12 @@ func NewBuilder() *Builder {
 }
 
 func (b *Builder) fresh() int {
-	b.nextID++
-	return b.nextID
+	return int(b.nextID.Add(1))
 }
 
 // NumNodes returns the number of nodes allocated so far, used for compile
 // budgets.
-func (b *Builder) NumNodes() int { return b.nextID }
+func (b *Builder) NumNodes() int { return int(b.nextID.Load()) }
 
 // True returns the constant-true node.
 func (b *Builder) True() *Node { return b.trueN }
@@ -93,14 +142,22 @@ func (b *Builder) Lit(l int) *Node {
 	if l == 0 {
 		panic("dnnf: zero literal")
 	}
-	if n, ok := b.lits[l]; ok {
+	b.litMu.RLock()
+	n := b.lits[l]
+	b.litMu.RUnlock()
+	if n != nil {
 		return n
 	}
 	v := l
 	if v < 0 {
 		v = -v
 	}
-	n := &Node{Kind: KindLit, Lit: l, id: b.fresh(), vars: []int{v}}
+	b.litMu.Lock()
+	defer b.litMu.Unlock()
+	if n := b.lits[l]; n != nil {
+		return n
+	}
+	n = &Node{Kind: KindLit, Lit: l, id: b.fresh(), vars: []int{v}}
 	b.lits[l] = n
 	return n
 }
@@ -161,12 +218,9 @@ func (b *Builder) And(children ...*Node) *Node {
 	}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].id < kept[j].id })
 	key := childKey(kept)
-	if n, ok := b.ands[key]; ok {
-		return n
-	}
-	n := &Node{Kind: KindAnd, Children: kept, id: b.fresh(), vars: mergeVars(kept, true)}
-	b.ands[key] = n
-	return n
+	return b.ands[shardIndex(key)].intern(key, func() *Node {
+		return &Node{Kind: KindAnd, Children: kept, id: b.fresh(), vars: mergeVars(kept, true)}
+	})
 }
 
 // Decision returns the deterministic disjunction (v ∧ hi) ∨ (¬v ∧ lo) with
@@ -204,13 +258,10 @@ func (b *Builder) orSlice(decision int, children []*Node) *Node {
 	}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].id < kept[j].id })
 	key := fmt.Sprintf("%d|%s", decision, childKey(kept))
-	if n, ok := b.ors[key]; ok {
-		return n
-	}
-	n := &Node{Kind: KindOr, Children: kept, Decision: decision, id: b.fresh(),
-		vars: mergeVars(kept, false)}
-	b.ors[key] = n
-	return n
+	return b.ors[shardIndex(key)].intern(key, func() *Node {
+		return &Node{Kind: KindOr, Children: kept, Decision: decision, id: b.fresh(),
+			vars: mergeVars(kept, false)}
+	})
 }
 
 // Size returns the number of distinct nodes reachable from n.

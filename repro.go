@@ -130,10 +130,23 @@ type Options struct {
 	// 1 forces the fully serial pipeline. Results are identical — and
 	// identically ordered — for every setting.
 	Workers int
+	// CompileWorkers bounds the knowledge compiler's intra-compilation
+	// fan-out: independent connected components of each CNF compile
+	// concurrently. Zero (the default) inherits the per-tuple share of the
+	// Workers budget, so the pipeline never oversubscribes; negative means
+	// GOMAXPROCS; ≥ 1 is taken as-is (1 = the sequential compiler).
+	CompileWorkers int
 	// CacheSize sizes the process-wide d-DNNF compilation cache (number of
 	// compiled circuits retained across Explain calls). Zero means the
 	// default size; negative disables cross-call caching.
 	CacheSize int
+	// NoCanonicalCache keys the compilation cache by the byte-identical
+	// CNF rather than its rename-invariant canonical form. By default,
+	// output tuples whose provenance is isomorphic modulo variable renaming
+	// (the common shape of multi-tuple query answers) share one compiled
+	// circuit; this toggle is the ablation that restores exact-match-only
+	// caching.
+	NoCanonicalCache bool
 	// Strategy selects the Algorithm 1 evaluation mode. The default,
 	// StrategyAuto, runs the two-pass gradient algorithm when the circuit
 	// and fact count are large enough for its factor-n advantage to matter
@@ -236,16 +249,25 @@ func Explain(ctx context.Context, d *Database, q *Query, opts Options) ([]TupleE
 	if inner < 1 {
 		inner = 1
 	}
+	// The compiler's own fan-out defaults to the same per-tuple share, so
+	// compile parallelism composes with answer parallelism instead of
+	// multiplying it.
+	compileWorkers := opts.CompileWorkers
+	if compileWorkers == 0 {
+		compileWorkers = inner
+	}
 	out := make([]TupleExplanation, len(answers))
 	err = parallel.ForEach(ctx, len(answers), outer, func(_, i int) error {
 		a := answers[i]
 		endo := lineageEndo(a.Lineage)
 		h, err := core.Hybrid(ctx, a.Lineage, endo, core.HybridOptions{
-			Timeout:  opts.Timeout,
-			MaxNodes: opts.MaxNodes,
-			Workers:  inner,
-			Strategy: opts.Strategy,
-			Cache:    cache,
+			Timeout:          opts.Timeout,
+			MaxNodes:         opts.MaxNodes,
+			Workers:          inner,
+			CompileWorkers:   compileWorkers,
+			NoCanonicalCache: opts.NoCanonicalCache,
+			Strategy:         opts.Strategy,
+			Cache:            cache,
 		})
 		if err != nil {
 			return err

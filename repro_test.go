@@ -260,6 +260,59 @@ func TestExplainParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestExplainCompileKnobsMatchBaseline drives the two PR-3 knobs through
+// the facade: a parallel compiler and a canonically-keyed (or ablated)
+// cache must leave every explanation identical to the serial,
+// cache-disabled baseline.
+func TestExplainCompileKnobsMatchBaseline(t *testing.T) {
+	d := NewDatabase()
+	d.CreateRelation("R", "a", "b")
+	d.CreateRelation("S", "b", "c")
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 18; i++ {
+		d.MustInsert("R", true, Int(int64(i%6)), Int(int64(rng.Intn(4))))
+	}
+	for i := 0; i < 12; i++ {
+		d.MustInsert("S", true, Int(int64(rng.Intn(4))), Int(int64(rng.Intn(3))))
+	}
+	q, err := ParseQuery(`q(a) :- R(a, b), S(b, c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Explain(context.Background(), d, q, Options{Workers: 1, CompileWorkers: 1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) < 2 {
+		t.Fatalf("want a multi-answer query, got %d answers", len(baseline))
+	}
+	for _, opts := range []Options{
+		{Workers: 1, CompileWorkers: 4, CacheSize: -1},      // parallel compiler, no cache
+		{Workers: 4, CompileWorkers: 4, CacheSize: 64},      // parallel + canonical cache
+		{Workers: 4, CacheSize: 64, NoCanonicalCache: true}, // byte-identical cache ablation
+		{Workers: 4, CompileWorkers: -1, CacheSize: 64},     // compile workers forced to GOMAXPROCS
+	} {
+		got, err := Explain(context.Background(), d, q, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if len(got) != len(baseline) {
+			t.Fatalf("%+v: %d explanations, want %d", opts, len(got), len(baseline))
+		}
+		for i := range baseline {
+			b, g := baseline[i], got[i]
+			if b.Tuple.String() != g.Tuple.String() || b.Method != g.Method {
+				t.Fatalf("%+v answer %d: tuple/method diverged", opts, i)
+			}
+			for f, bv := range b.Values {
+				if gv := g.Values[f]; gv == nil || gv.Cmp(bv) != 0 {
+					t.Fatalf("%+v answer %d fact %d: %v, want %v", opts, i, f, gv, bv)
+				}
+			}
+		}
+	}
+}
+
 func TestExplainCancelledContext(t *testing.T) {
 	d, _ := flights.Build()
 	ctx, cancel := context.WithCancel(context.Background())
