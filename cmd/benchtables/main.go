@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/updatebench"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
 		benchJS = flag.String("benchjson", "", "write a BENCH_shapley.json perf report (per-tuple timings, per-fact vs gradient head-to-head, worker scaling) to this path")
 		compJS  = flag.String("compilejson", "", "write a BENCH_compile.json perf report (serial vs parallel compile head-to-head, canonical vs byte-identical cache hit rates) to this path")
+		updJS   = flag.String("updatejson", "", "write a BENCH_update.json perf report (incremental session maintenance vs recompute-from-scratch across update batch sizes) to this path")
 	)
 	flag.Parse()
 
@@ -89,6 +91,37 @@ func main() {
 	}
 	fmt.Printf("corpus built in %v: %d output tuples, %d exact successes (%.2f%%)\n\n",
 		time.Since(start).Round(time.Millisecond), total, success, 100*float64(success)/float64(max(total, 1)))
+
+	if *cacheSz > 0 {
+		section("Per-query compile-cache hit rates (canonical keying)")
+		for _, r := range corpus.Runs {
+			st := r.CacheStats
+			if st.Hits+st.Misses == 0 {
+				continue
+			}
+			fmt.Printf("%s/%s: %d identical + %d renamed hits, %d misses (hit rate %.2f, %d evictions)\n",
+				r.Dataset, r.Name, st.IdenticalHits, st.RenamedHits, st.Misses, st.HitRate(), st.Evictions)
+		}
+		fmt.Println()
+	}
+
+	if *updJS != "" {
+		rep, err := updatebench.RunUpdateBench(ctx, opts, []int{1, 2, 4, 8}, nil, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		if err := updatebench.WriteUpdateBench(*updJS, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		for _, p := range rep.Points {
+			fmt.Printf("update %s/%s batch=%d (%d/%d tuples touched): incremental %.2fms, recompute %.2fms (%.1fx)\n",
+				p.Dataset, p.Query, p.BatchSize, p.ChangedTuples, p.Tuples,
+				p.IncrementalMillis, p.RecomputeMillis, p.Speedup)
+		}
+		fmt.Printf("wrote %s\n\n", *updJS)
+	}
 
 	if *benchJS != "" {
 		rep, err := bench.ShapleyBenchReport(ctx, corpus, strategy, 3)

@@ -1,0 +1,52 @@
+package repro
+
+// Compile and run every program under examples/ as a test, so CI catches
+// API drift in the examples the moment the facade changes. Each example is
+// a self-contained main package exercising the public API end to end; a
+// non-zero exit or a build failure fails the test.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesCompileAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run real workloads; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("examples", e.Name())
+		if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+			continue
+		}
+		ran++
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", e.Name())
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no examples found under examples/")
+	}
+}

@@ -106,6 +106,11 @@ type QueryRun struct {
 	Q        *query.UCQ
 	ExecTime time.Duration // provenance generation (query evaluation)
 	Tuples   []*TupleResult
+	// CacheStats is the compile-cache counter delta attributable to this
+	// query's tuples — its canonical hit rate says how much isomorphic
+	// lineage the query's answers share. Zero when the corpus ran without
+	// a cross-call cache.
+	CacheStats dnnf.CacheStats
 }
 
 // SuccessRate returns the fraction of output tuples whose exact computation
@@ -203,11 +208,18 @@ func RunSuite(ctx context.Context, dataset string, d *db.Database, queries []Nam
 		if opts.MaxTuplesPerQuery > 0 && len(answers) > opts.MaxTuplesPerQuery {
 			answers = answers[:opts.MaxTuplesPerQuery]
 		}
+		var before dnnf.CacheStats
+		if cache != nil {
+			before = cache.Stats()
+		}
 		for _, a := range answers {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			run.Tuples = append(run.Tuples, runTuple(ctx, dataset, nq.Name, a, endoForLineage(a.Lineage, endo), opts, cache))
+		}
+		if cache != nil {
+			run.CacheStats = cache.Stats().Sub(before)
 		}
 		out = append(out, run)
 	}

@@ -61,6 +61,9 @@ type HybridOptions struct {
 	Strategy ShapleyStrategy
 	// Cache is an optional cross-call d-DNNF compilation cache.
 	Cache *dnnf.CompileCache
+	// CacheOwner tags Cache entries with the fact-ID universe's identity
+	// (the database ID), scoping fact-set invalidation; 0 = untagged.
+	CacheOwner uint64
 }
 
 // Hybrid runs the exact computation under a time budget and falls back to
@@ -70,6 +73,15 @@ type HybridOptions struct {
 // itself is cancelled — budget exhaustion is what the proxy fallback is for,
 // but a caller that gave up wants neither answer.
 func Hybrid(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts HybridOptions) (*HybridResult, error) {
+	return HybridAt(ctx, elin, endo, 0, nil, opts)
+}
+
+// HybridAt is Hybrid for a lineage at a given epoch, reusing per-stage
+// outputs cached in art from a previous call at the same epoch (nil art
+// disables reuse). It is the session-facing entry point: a long-lived
+// session passes each tuple's Artifacts across Explain calls so that only
+// the stages invalidated by updates are recomputed.
+func HybridAt(ctx context.Context, elin *circuit.Node, endo []db.FactID, epoch uint64, art *Artifacts, opts HybridOptions) (*HybridResult, error) {
 	start := time.Now()
 	popts := PipelineOptions{
 		CompileTimeout:   opts.Timeout,
@@ -80,8 +92,9 @@ func Hybrid(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts Hybr
 		NoCanonicalCache: opts.NoCanonicalCache,
 		Strategy:         opts.Strategy,
 		Cache:            opts.Cache,
+		CacheOwner:       opts.CacheOwner,
 	}
-	res, err := ExplainCircuit(ctx, elin, endo, popts)
+	res, err := ExplainCircuitAt(ctx, elin, endo, epoch, art, popts)
 	if err == nil {
 		return &HybridResult{
 			Method:  MethodExact,

@@ -48,6 +48,10 @@ type PipelineOptions struct {
 	// Cache, when non-nil, is a cross-call d-DNNF compilation cache shared
 	// between pipeline invocations (and goroutines).
 	Cache *dnnf.CompileCache
+	// CacheOwner tags Cache entries with the identity of the fact-ID
+	// universe this lineage comes from (the database ID), scoping the
+	// cache's fact-set invalidation under updates; 0 = untagged.
+	CacheOwner uint64
 }
 
 // PipelineResult carries the artifacts and stage timings of one end-to-end
@@ -71,65 +75,17 @@ type PipelineResult struct {
 }
 
 // ExplainCircuit runs the full exact pipeline on an endogenous lineage
-// circuit: Tseytin transformation, knowledge compilation to d-DNNF,
-// auxiliary-variable elimination (Lemma 4.6), and Algorithm 1 for every
-// endogenous fact. It returns dnnf.ErrTimeout or dnnf.ErrNodeBudget when
-// compilation exceeds its budget and ErrShapleyTimeout when evaluation does;
-// in those cases the hybrid strategy falls back to CNF Proxy. Cancelling ctx
-// aborts either stage and propagates the context's own error (never a budget
-// sentinel), so callers can distinguish "over budget" from "caller gave up".
+// circuit — the named stages StageTseytin, StageCompile, and StageShapley
+// in order (see stages.go): Tseytin transformation, knowledge compilation
+// to d-DNNF with auxiliary-variable elimination (Lemma 4.6), and
+// Algorithm 1 for every endogenous fact. It returns dnnf.ErrTimeout or
+// dnnf.ErrNodeBudget when compilation exceeds its budget and
+// ErrShapleyTimeout when evaluation does; in those cases the hybrid
+// strategy falls back to CNF Proxy. Cancelling ctx aborts either stage and
+// propagates the context's own error (never a budget sentinel), so callers
+// can distinguish "over budget" from "caller gave up".
 func ExplainCircuit(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts PipelineOptions) (*PipelineResult, error) {
-	res := &PipelineResult{NumFacts: len(circuit.Vars(elin))}
-	if err := ctx.Err(); err != nil {
-		return res, err
-	}
-
-	t0 := time.Now()
-	formula := cnf.TseytinReserving(elin, maxFactID(endo))
-	res.TseytinTime = time.Since(t0)
-	res.CNF = formula
-	res.NumClauses = formula.NumClauses()
-
-	t1 := time.Now()
-	compiled, stats, err := dnnf.Compile(ctx, formula, dnnf.Options{
-		Timeout:          opts.CompileTimeout,
-		MaxNodes:         opts.CompileMaxNodes,
-		DisableCache:     opts.DisableCache,
-		Order:            opts.Order,
-		Cache:            opts.Cache,
-		Workers:          opts.CompileWorkers,
-		NoCanonicalCache: opts.NoCanonicalCache,
-	})
-	res.CompileStats = stats
-	if err != nil {
-		return res, err
-	}
-	reduced := dnnf.EliminateAux(compiled, func(v int) bool { return formula.Aux[v] })
-	res.CompileTime = time.Since(t1)
-	res.DNNF = reduced
-	res.DNNFSize = dnnf.Size(reduced)
-
-	// The Shapley stage's own budget is expressed as a context deadline
-	// layered over the caller's context: real cancellation rather than the
-	// former ad-hoc per-fact deadline checks.
-	sctx := ctx
-	if opts.ShapleyTimeout > 0 {
-		var cancel context.CancelFunc
-		sctx, cancel = context.WithTimeout(ctx, opts.ShapleyTimeout)
-		defer cancel()
-	}
-	t2 := time.Now()
-	values, err := ShapleyAllStrategy(sctx, reduced, endo, opts.Workers, opts.Strategy)
-	res.ShapleyTime = time.Since(t2)
-	if err != nil {
-		if ctx.Err() == nil {
-			// The stage deadline fired, not the caller's context.
-			err = ErrShapleyTimeout
-		}
-		return res, err
-	}
-	res.Values = values
-	return res, nil
+	return ExplainCircuitAt(ctx, elin, endo, 0, nil, opts)
 }
 
 // maxFactID returns the largest endogenous fact ID, used to reserve the

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind enumerates the value types supported by the engine.
@@ -217,25 +218,46 @@ func (f Fact) String() string {
 type Relation struct {
 	Schema Schema
 	Facts  []*Fact
+	// epoch counts the mutations (inserts and deletes) this relation has
+	// seen. Caches keyed on relation contents compare epochs instead of
+	// diffing fact sets.
+	epoch uint64
 }
+
+// Epoch returns the relation's mutation counter: it is bumped by every
+// Insert and Delete touching the relation and never decreases, so equal
+// epochs guarantee the relation's fact set has not changed.
+func (r *Relation) Epoch() uint64 { return r.epoch }
 
 // Database is an in-memory relational database: a set of relations whose
 // facts carry unique IDs and endogenous/exogenous annotations.
 type Database struct {
+	id        uint64
 	relations map[string]*Relation
 	order     []string // relation names in insertion order
 	facts     map[FactID]*Fact
 	nextID    FactID
+	epoch     uint64
 }
+
+// dbCounter mints process-unique database identities.
+var dbCounter atomic.Uint64
 
 // New returns an empty database.
 func New() *Database {
 	return &Database{
+		id:        dbCounter.Add(1),
 		relations: make(map[string]*Relation),
 		facts:     make(map[FactID]*Fact),
 		nextID:    1,
 	}
 }
+
+// ID returns a process-unique identity for the database. Fact IDs are only
+// unique within one database, so anything keying global state by fact ID —
+// the compile cache's fact-set invalidation, for one — scopes it by this
+// identity to keep unrelated databases with colliding fact IDs apart.
+func (d *Database) ID() uint64 { return d.id }
 
 // CreateRelation registers a new relation with the given schema. It panics
 // if the relation already exists: schema setup errors are programming
@@ -278,8 +300,37 @@ func (d *Database) Insert(relation string, endogenous bool, values ...Value) (*F
 	d.nextID++
 	rel.Facts = append(rel.Facts, f)
 	d.facts[f.ID] = f
+	rel.epoch++
+	d.epoch++
 	return f, nil
 }
+
+// Delete removes the fact with the given ID. Fact IDs are never reused:
+// nextID is monotone, so a deleted ID stays free forever and provenance
+// variables of past explanations can never alias a later fact.
+func (d *Database) Delete(id FactID) error {
+	f, ok := d.facts[id]
+	if !ok {
+		return fmt.Errorf("db: no fact with ID %d", id)
+	}
+	rel := d.relations[f.Relation]
+	for i, g := range rel.Facts {
+		if g.ID == id {
+			rel.Facts = append(rel.Facts[:i], rel.Facts[i+1:]...)
+			break
+		}
+	}
+	delete(d.facts, id)
+	rel.epoch++
+	d.epoch++
+	return nil
+}
+
+// Epoch returns the database's mutation counter: the total number of
+// inserts and deletes applied so far. A cache recording the epoch it was
+// built at can cheap-check staleness by comparing against the current value;
+// the counter never decreases.
+func (d *Database) Epoch() uint64 { return d.epoch }
 
 // MustInsert is Insert that panics on error; it is intended for statically
 // known test fixtures and generators.

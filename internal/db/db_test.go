@@ -177,3 +177,52 @@ func TestRelationNamesOrder(t *testing.T) {
 		t.Errorf("RelationNames = %v, want [B A]", names)
 	}
 }
+
+func TestDeleteRemovesFactAndKeepsIDsMonotone(t *testing.T) {
+	d := New()
+	d.CreateRelation("R", "a")
+	f1 := d.MustInsert("R", true, Int(1))
+	f2 := d.MustInsert("R", true, Int(2))
+	if err := d.Delete(f1.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if d.Fact(f1.ID) != nil {
+		t.Errorf("Fact(%d) survived Delete", f1.ID)
+	}
+	if d.NumFacts() != 1 {
+		t.Errorf("NumFacts = %d, want 1", d.NumFacts())
+	}
+	rel := d.Relation("R")
+	if len(rel.Facts) != 1 || rel.Facts[0].ID != f2.ID {
+		t.Errorf("relation facts = %v, want just #%d", rel.Facts, f2.ID)
+	}
+	f3 := d.MustInsert("R", true, Int(3))
+	if f3.ID <= f2.ID {
+		t.Errorf("ID after delete = %d, want > %d (IDs must never be reused)", f3.ID, f2.ID)
+	}
+	if err := d.Delete(f1.ID); err == nil {
+		t.Error("Delete of a missing ID succeeded, want error")
+	}
+}
+
+func TestEpochsBumpOnEveryMutation(t *testing.T) {
+	d := New()
+	d.CreateRelation("R", "a")
+	d.CreateRelation("S", "a")
+	if d.Epoch() != 0 {
+		t.Fatalf("fresh Epoch = %d, want 0", d.Epoch())
+	}
+	f := d.MustInsert("R", true, Int(1))
+	if d.Epoch() != 1 || d.Relation("R").Epoch() != 1 || d.Relation("S").Epoch() != 0 {
+		t.Errorf("after insert: db=%d R=%d S=%d, want 1/1/0",
+			d.Epoch(), d.Relation("R").Epoch(), d.Relation("S").Epoch())
+	}
+	d.MustInsert("S", false, Int(2))
+	if err := d.Delete(f.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if d.Epoch() != 3 || d.Relation("R").Epoch() != 2 || d.Relation("S").Epoch() != 1 {
+		t.Errorf("after delete: db=%d R=%d S=%d, want 3/2/1",
+			d.Epoch(), d.Relation("R").Epoch(), d.Relation("S").Epoch())
+	}
+}

@@ -27,14 +27,16 @@ import (
 // signature. Values are immutable node DAGs; sharing them between concurrent
 // readers is safe because Nodes are never mutated after construction.
 type CompileCache struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recently used; values are *cacheEntry
-	entries  map[string]*list.Element
-	inflight map[string]*sync.WaitGroup
-	hits     int64
-	misses   int64
-	renamed  int64
+	mu            sync.Mutex
+	capacity      int
+	order         *list.List // front = most recently used; values are *cacheEntry
+	entries       map[string]*list.Element
+	inflight      map[string]*sync.WaitGroup
+	hits          int64
+	misses        int64
+	renamed       int64
+	evictions     int64
+	invalidations int64
 }
 
 type cacheEntry struct {
@@ -50,6 +52,16 @@ type cacheEntry struct {
 	// (non-canonical) entries. A hit composes it with the caller's own
 	// canonical map to relabel root into the caller's variable space.
 	fromCanon map[int]int
+	// support is the sorted set of original (non-auxiliary) variables —
+	// fact IDs, for lineage compilations — of the compilation that
+	// populated this entry. Invalidate uses it to evict only circuits
+	// whose lineage actually mentions an updated fact.
+	support []int
+	// owner scopes support: fact IDs are only unique within one database,
+	// so Invalidate matches an entry's support only when the owner tags
+	// agree (Options.CacheOwner; 0 = untagged). Lookups never consult the
+	// owner — canonical hits across databases stay shared.
+	owner uint64
 }
 
 // DefaultCompileCacheSize is the capacity used when a knob asks for "a
@@ -87,11 +99,97 @@ func (c *CompileCache) Len() int {
 	return c.order.Len()
 }
 
-// Stats returns the cumulative hit and miss counts.
-func (c *CompileCache) Stats() (hits, misses int64) {
+// CacheStats is a point-in-time snapshot of a CompileCache's cumulative
+// counters plus its current occupancy.
+type CacheStats struct {
+	// Hits and Misses count lookups; Hits = IdenticalHits + RenamedHits.
+	Hits, Misses int64
+	// IdenticalHits are hits whose formula matched the cached one
+	// byte-for-byte (or keying was non-canonical); RenamedHits were served
+	// through a nontrivial canonical relabeling.
+	IdenticalHits, RenamedHits int64
+	// Evictions counts entries displaced by the LRU capacity bound.
+	Evictions int64
+	// Invalidations counts entries dropped by Invalidate (fact updates).
+	Invalidations int64
+	// Len and Capacity describe current occupancy.
+	Len, Capacity int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 for an untouched cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Sub returns the counter deltas s − o (occupancy fields are kept from s),
+// for per-query or per-phase reporting from two snapshots.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:          s.Hits - o.Hits,
+		Misses:        s.Misses - o.Misses,
+		IdenticalHits: s.IdenticalHits - o.IdenticalHits,
+		RenamedHits:   s.RenamedHits - o.RenamedHits,
+		Evictions:     s.Evictions - o.Evictions,
+		Invalidations: s.Invalidations - o.Invalidations,
+		Len:           s.Len,
+		Capacity:      s.Capacity,
+	}
+}
+
+// Stats returns a snapshot of the cache's hit/miss/eviction counters.
+func (c *CompileCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		IdenticalHits: c.hits - c.renamed,
+		RenamedHits:   c.renamed,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Len:           c.order.Len(),
+		Capacity:      c.capacity,
+	}
+}
+
+// Invalidate evicts every cached circuit populated under the given owner
+// tag whose supporting fact set mentions any of the given variables (fact
+// IDs) and returns how many entries were dropped. After a fact update, only
+// compilations whose lineage actually involved the touched facts can be
+// stale working set; entries populated from unrelated lineages — other
+// owners' databases with colliding fact IDs, or renamed-isomorphic entries
+// serving other fact-ID universes — survive.
+func (c *CompileCache) Invalidate(owner uint64, vars ...int) int {
+	if len(vars) == 0 {
+		return 0
+	}
+	touched := make(map[int]bool, len(vars))
+	for _, v := range vars {
+		touched[v] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.owner == owner {
+			for _, v := range e.support {
+				if touched[v] {
+					c.order.Remove(el)
+					delete(c.entries, e.key)
+					dropped++
+					break
+				}
+			}
+		}
+		el = next
+	}
+	c.invalidations += int64(dropped)
+	return dropped
 }
 
 // CanonicalStats splits the cumulative hit count into identical hits (the
@@ -124,20 +222,21 @@ func (c *CompileCache) get(key string) (*cacheEntry, bool) {
 	return el.Value.(*cacheEntry), true
 }
 
-func (c *CompileCache) put(key string, root *Node, nodes int, fromCanon map[int]int) {
+func (c *CompileCache) put(key string, root *Node, nodes int, fromCanon map[int]int, support []int, owner uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		e.root, e.nodes, e.fromCanon = root, nodes, fromCanon
+		e.root, e.nodes, e.fromCanon, e.support, e.owner = root, nodes, fromCanon, support, owner
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, root: root, nodes: nodes, fromCanon: fromCanon})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, root: root, nodes: nodes, fromCanon: fromCanon, support: support, owner: owner})
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 

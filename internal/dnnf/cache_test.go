@@ -44,8 +44,78 @@ func TestCompileCacheHitReturnsSameCircuit(t *testing.T) {
 	if first != second {
 		t.Error("cache hit returned a different root node")
 	}
-	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
-		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCompileCacheStatsAndInvalidate(t *testing.T) {
+	cache := NewCompileCache(8)
+	// Two formulas over disjoint variable sets (different clause shapes so
+	// canonical keying cannot merge them).
+	f1 := chainFormula(3) // vars 1..3
+	f2 := &cnf.Formula{
+		Clauses: []cnf.Clause{{cnf.Lit(10), cnf.Lit(11)}, {cnf.Lit(-10), cnf.Lit(-11)}},
+		Aux:     map[int]bool{},
+		MaxVar:  11,
+	}
+	for _, f := range []*cnf.Formula{f1, f2} {
+		if _, _, err := Compile(context.Background(), f, Options{Cache: cache}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Len != 2 || st.Misses != 2 || st.Capacity != 8 {
+		t.Fatalf("Stats = %+v, want Len=2 Misses=2 Capacity=8", st)
+	}
+
+	// Invalidating a variable outside every support set drops nothing.
+	if n := cache.Invalidate(0, 99); n != 0 {
+		t.Errorf("Invalidate(99) dropped %d entries, want 0", n)
+	}
+	// A mismatched owner tag protects entries even when the fact matches:
+	// fact IDs collide across databases, so another database's updates must
+	// never evict this one's circuits.
+	if n := cache.Invalidate(42, 2); n != 0 {
+		t.Errorf("Invalidate with foreign owner dropped %d entries, want 0", n)
+	}
+	// Invalidating a fact mentioned only by f1, under the owner tag the
+	// entries were compiled with, evicts exactly f1's entry.
+	if n := cache.Invalidate(0, 2); n != 1 {
+		t.Errorf("Invalidate(2) dropped %d entries, want 1", n)
+	}
+	st := cache.Stats()
+	if st.Len != 1 || st.Invalidations != 1 {
+		t.Fatalf("after Invalidate: %+v, want Len=1 Invalidations=1", st)
+	}
+	// f2 must still be served warm; f1 must recompile.
+	_, s2, err := Compile(context.Background(), f2, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.CrossCallHit {
+		t.Error("entry with untouched support was invalidated")
+	}
+	_, s1, err := Compile(context.Background(), f1, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CrossCallHit {
+		t.Error("invalidated entry still served from cache")
+	}
+}
+
+func TestCompileCacheEvictionCounter(t *testing.T) {
+	cache := NewCompileCache(2)
+	for k := 3; k <= 6; k++ {
+		// Byte-identical keying: the chain formulas are isomorphic modulo
+		// renaming, so canonical keying would collapse them to one entry.
+		if _, _, err := Compile(context.Background(), chainFormula(k), Options{Cache: cache, NoCanonicalCache: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Evictions != 2 || st.Len != 2 {
+		t.Errorf("Stats = %+v, want Evictions=2 Len=2", st)
 	}
 }
 

@@ -65,6 +65,12 @@ type Options struct {
 	// entry; the cached circuit is relabeled to the caller's variables on
 	// each hit.
 	NoCanonicalCache bool
+	// CacheOwner tags the Cache entry this compilation populates with the
+	// identity of the fact-ID universe its variables come from (the
+	// database ID, for lineage compilations; 0 = untagged). It scopes
+	// CompileCache.Invalidate — fact IDs collide across databases — and
+	// never affects lookups.
+	CacheOwner uint64
 }
 
 // Stats reports compilation effort.
@@ -231,7 +237,7 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 		return nil, stats, err
 	}
 	if opts.Cache != nil {
-		opts.Cache.put(signature, root, stats.Nodes, invertRenaming(toCanon))
+		opts.Cache.put(signature, root, stats.Nodes, invertRenaming(toCanon), f.OriginalVars(), opts.CacheOwner)
 	}
 	return root, stats, nil
 }

@@ -42,10 +42,29 @@ type Answer struct {
 }
 
 // binding is a partial homomorphism from query variables to values, with the
-// conjunction of supporting fact nodes.
+// facts supporting it (one per joined atom, in join order).
 type binding struct {
-	vals map[string]db.Value
-	prov []*circuit.Node
+	vals  map[string]db.Value
+	facts []*db.Fact
+}
+
+// Derivation is one witness of an output tuple: the head values together
+// with the facts (endogenous and exogenous) the witnessing join used. The
+// tuple's lineage is the disjunction, over its derivations, of the
+// conjunction of each derivation's endogenous fact variables — which is how
+// Eval assembles circuits and how the incremental layer splices them.
+type Derivation struct {
+	Tuple db.Tuple
+	Facts []*db.Fact // sorted by fact ID, duplicates removed
+}
+
+// Conjunction builds the derivation's provenance conjunction in b.
+func (dv Derivation) Conjunction(b *circuit.Builder, opts Options) *circuit.Node {
+	nodes := make([]*circuit.Node, len(dv.Facts))
+	for i, f := range dv.Facts {
+		nodes[i] = factNode(b, f, opts)
+	}
+	return b.And(nodes...)
 }
 
 // Eval evaluates the UCQ over the database, building lineage circuits in b.
@@ -56,8 +75,16 @@ func Eval(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) ([]Ans
 	groups := make(map[string][]*circuit.Node)
 	tuples := make(map[string]db.Tuple)
 	for i := range q.Disjuncts {
-		if err := evalCQ(d, &q.Disjuncts[i], b, opts, groups, tuples); err != nil {
+		derivs, err := deriveCQ(d, &q.Disjuncts[i], -1, nil)
+		if err != nil {
 			return nil, fmt.Errorf("engine: disjunct %d: %w", i, err)
+		}
+		for _, dv := range derivs {
+			key := dv.Tuple.Key()
+			if _, ok := tuples[key]; !ok {
+				tuples[key] = dv.Tuple
+			}
+			groups[key] = append(groups[key], dv.Conjunction(b, opts))
 		}
 	}
 	keys := make([]string, 0, len(groups))
@@ -68,6 +95,32 @@ func Eval(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) ([]Ans
 	out := make([]Answer, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, Answer{Tuple: tuples[k], Lineage: b.Or(groups[k]...)})
+	}
+	return out, nil
+}
+
+// EvalDelta computes the derivations newly enabled by inserting fact f: for
+// every atom of every disjunct over f's relation, it re-runs the join with
+// that atom pinned to f alone, so the work is proportional to the bindings
+// involving the touched fact rather than to the whole database. The
+// database must already contain f (a derivation may use f at several atoms).
+// Derivations double-counted across pin positions are exact duplicates and
+// collapse under the support-set keying of the incremental layer (and under
+// the circuit builder's hash-consing either way).
+func EvalDelta(d *db.Database, q *query.UCQ, f *db.Fact) ([]Derivation, error) {
+	var out []Derivation
+	for i := range q.Disjuncts {
+		cq := &q.Disjuncts[i]
+		for ai := range cq.Atoms {
+			if cq.Atoms[ai].Relation != f.Relation {
+				continue
+			}
+			derivs, err := deriveCQ(d, cq, ai, f)
+			if err != nil {
+				return nil, fmt.Errorf("engine: disjunct %d: %w", i, err)
+			}
+			out = append(out, derivs...)
+		}
 	}
 	return out, nil
 }
@@ -88,19 +141,20 @@ func EvalBoolean(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options)
 	return answers[0].Lineage, nil
 }
 
-func evalCQ(d *db.Database, cq *query.CQ, b *circuit.Builder, opts Options,
-	groups map[string][]*circuit.Node, tuples map[string]db.Tuple) error {
-
+// deriveCQ enumerates the derivations of one conjunctive query. With
+// pin >= 0, atom pin ranges over only pinFact instead of its whole relation
+// — the delta-join primitive behind EvalDelta.
+func deriveCQ(d *db.Database, cq *query.CQ, pin int, pinFact *db.Fact) ([]Derivation, error) {
 	if err := cq.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	for _, a := range cq.Atoms {
 		rel := d.Relation(a.Relation)
 		if rel == nil {
-			return fmt.Errorf("unknown relation %q", a.Relation)
+			return nil, fmt.Errorf("unknown relation %q", a.Relation)
 		}
 		if len(a.Args) != rel.Schema.Arity() {
-			return fmt.Errorf("atom %s: relation has arity %d", a, rel.Schema.Arity())
+			return nil, fmt.Errorf("atom %s: relation has arity %d", a, rel.Schema.Arity())
 		}
 	}
 
@@ -114,14 +168,18 @@ func evalCQ(d *db.Database, cq *query.CQ, b *circuit.Builder, opts Options,
 	copy(pendingFilters, cq.Filters)
 
 	for len(remainingAtoms) > 0 && len(bindings) > 0 {
-		idx := pickAtom(cq, remainingAtoms, bound)
+		idx := pickAtom(cq, remainingAtoms, bound, pin)
 		atom := cq.Atoms[idx]
 		remainingAtoms = removeInt(remainingAtoms, idx)
 
+		facts := d.Relation(atom.Relation).Facts
+		if idx == pin {
+			facts = []*db.Fact{pinFact}
+		}
 		var err error
-		bindings, err = joinAtom(d, atom, bindings, bound, b, opts)
+		bindings, err = joinAtom(atom, facts, bindings, bound)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, v := range atom.Vars() {
 			bound[v] = true
@@ -129,33 +187,52 @@ func evalCQ(d *db.Database, cq *query.CQ, b *circuit.Builder, opts Options,
 		// Apply every filter whose variables are now all bound.
 		pendingFilters, bindings, err = applyFilters(pendingFilters, bindings, bound)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if len(pendingFilters) > 0 && len(bindings) > 0 {
-		return fmt.Errorf("filters %v reference unbound variables", pendingFilters)
+		return nil, fmt.Errorf("filters %v reference unbound variables", pendingFilters)
 	}
 
+	out := make([]Derivation, 0, len(bindings))
 	for _, bd := range bindings {
 		head := make(db.Tuple, len(cq.Head))
 		for i, h := range cq.Head {
 			head[i] = bd.vals[h]
 		}
-		key := head.Key()
-		if _, ok := tuples[key]; !ok {
-			tuples[key] = head
-		}
-		groups[key] = append(groups[key], b.And(bd.prov...))
+		out = append(out, Derivation{Tuple: head, Facts: normalizeSupport(bd.facts)})
 	}
-	return nil
+	return out, nil
+}
+
+// normalizeSupport sorts a binding's supporting facts by ID and removes
+// duplicates (one fact can witness several atoms of a self-join).
+func normalizeSupport(facts []*db.Fact) []*db.Fact {
+	out := make([]*db.Fact, len(facts))
+	copy(out, facts)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	w := 0
+	for i, f := range out {
+		if i > 0 && out[w-1].ID == f.ID {
+			continue
+		}
+		out[w] = f
+		w++
+	}
+	return out[:w]
 }
 
 // pickAtom greedily selects the next atom to join: the one with the most
 // bound terms (constants count as bound), breaking ties by original order.
 // This keeps intermediate binding sets small on the star-join workloads.
-func pickAtom(cq *query.CQ, remaining []int, bound map[string]bool) int {
+// A pinned atom (the single-fact delta atom) always goes first: it is the
+// most selective join possible.
+func pickAtom(cq *query.CQ, remaining []int, bound map[string]bool, pin int) int {
 	best, bestScore := remaining[0], -1
 	for _, idx := range remaining {
+		if idx == pin {
+			return idx
+		}
 		score := 0
 		for _, t := range cq.Atoms[idx].Args {
 			if !t.IsVar() || bound[t.Var] {
@@ -179,14 +256,13 @@ func removeInt(s []int, v int) []int {
 	return out
 }
 
-// joinAtom extends each binding with every fact of the atom's relation
+// joinAtom extends each binding with every fact of the given slice
 // consistent with it. It builds a hash index on the atom positions that are
 // constants or already-bound variables (the same positions for every
 // binding, since all bindings at a stage bind the same variable set).
-func joinAtom(d *db.Database, atom query.Atom, bindings []binding,
-	bound map[string]bool, b *circuit.Builder, opts Options) ([]binding, error) {
+func joinAtom(atom query.Atom, facts []*db.Fact, bindings []binding,
+	bound map[string]bool) ([]binding, error) {
 
-	rel := d.Relation(atom.Relation)
 	keyPos := make([]int, 0, len(atom.Args))
 	for i, t := range atom.Args {
 		if !t.IsVar() || bound[t.Var] {
@@ -196,7 +272,7 @@ func joinAtom(d *db.Database, atom query.Atom, bindings []binding,
 
 	// Index facts by the key positions.
 	index := make(map[string][]*db.Fact)
-	for _, f := range rel.Facts {
+	for _, f := range facts {
 		index[factKey(f.Tuple, keyPos)] = append(index[factKey(f.Tuple, keyPos)], f)
 	}
 
@@ -211,10 +287,10 @@ func joinAtom(d *db.Database, atom query.Atom, bindings []binding,
 			if !ok {
 				continue
 			}
-			prov := make([]*circuit.Node, len(bd.prov), len(bd.prov)+1)
-			copy(prov, bd.prov)
-			prov = append(prov, factNode(b, f, opts))
-			out = append(out, binding{vals: newVals, prov: prov})
+			support := make([]*db.Fact, len(bd.facts), len(bd.facts)+1)
+			copy(support, bd.facts)
+			support = append(support, f)
+			out = append(out, binding{vals: newVals, facts: support})
 		}
 	}
 	return out, nil

@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/query"
+)
+
+// Incremental maintains the answers of one query over one database under
+// fact inserts and deletes, without re-evaluating the query from scratch.
+//
+// It keeps every answer as its set of derivations (support fact sets) rather
+// than as an opaque lineage circuit:
+//
+//   - Insert(f) runs the delta join of EvalDelta — only bindings involving f
+//     are enumerated — and splices the new conjunctions into the affected
+//     answers' lineage disjunctions.
+//   - Delete(id) drops exactly the derivations whose support contains the
+//     fact, via a fact→derivation index, and rebuilds the affected lineages
+//     from the surviving derivations. For endogenous facts this coincides
+//     with conditioning the lineage on f→0 (UCQ lineage is monotone); the
+//     derivation-level form also handles exogenous facts, which have no
+//     lineage variable to condition on.
+//
+// Answers are keyed by their support sets, so a derivation re-discovered
+// through several delta positions (self-joins) is stored once; since the
+// provenance conjunction is a function of the support set alone, the
+// maintained lineage is semantically identical to a cold Eval on the
+// mutated database.
+//
+// Each answer carries a monotonically increasing epoch stamped from the
+// Incremental's mutation counter; downstream caches compare epochs to
+// cheap-check whether a tuple's explanation is still valid. Incremental is
+// not safe for concurrent use; callers (repro.Session) serialize access.
+type Incremental struct {
+	d    *db.Database
+	q    *query.UCQ
+	b    *circuit.Builder
+	opts Options
+
+	epoch   uint64
+	answers map[string]*liveAnswer
+	// byFact indexes, for every supporting fact, the answer keys and
+	// derivation keys it participates in: Delete touches only these. It is
+	// built lazily on the first mutation, so one-shot evaluate-and-discard
+	// users (repro.Explain) never pay for it.
+	byFact map[db.FactID]map[string]map[string]bool
+}
+
+// LiveAnswer is one maintained output tuple: the Answer plus the bookkeeping
+// the session layer needs (a stable key and the epoch of its last change).
+type LiveAnswer struct {
+	Answer
+	// Key is the answer's stable identity (the tuple key).
+	Key string
+	// Epoch is the mutation count at which this answer's lineage last
+	// changed; an unchanged epoch guarantees an unchanged lineage.
+	Epoch uint64
+}
+
+type liveAnswer struct {
+	tuple   db.Tuple
+	derivs  map[string][]*db.Fact
+	lineage *circuit.Node // nil when dirty (a derivation was added/removed)
+	epoch   uint64
+}
+
+// NewIncremental evaluates the query once and returns the maintained state.
+func NewIncremental(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) (*Incremental, error) {
+	inc := &Incremental{
+		d:       d,
+		q:       q,
+		b:       b,
+		opts:    opts,
+		answers: make(map[string]*liveAnswer),
+	}
+	for i := range q.Disjuncts {
+		derivs, err := deriveCQ(d, &q.Disjuncts[i], -1, nil)
+		if err != nil {
+			return nil, fmt.Errorf("engine: disjunct %d: %w", i, err)
+		}
+		for _, dv := range derivs {
+			inc.addDerivation(dv)
+		}
+	}
+	return inc, nil
+}
+
+// Epoch returns the mutation counter: it is bumped once per Insert or
+// Delete that changed at least one answer.
+func (inc *Incremental) Epoch() uint64 { return inc.epoch }
+
+// Len returns the current number of answers without rebuilding any lineage.
+func (inc *Incremental) Len() int { return len(inc.answers) }
+
+// ensureIndex builds the fact→derivation reverse index from the current
+// derivation sets; later addDerivation/Delete calls keep it consistent.
+func (inc *Incremental) ensureIndex() {
+	if inc.byFact != nil {
+		return
+	}
+	inc.byFact = make(map[db.FactID]map[string]map[string]bool)
+	for key, a := range inc.answers {
+		for dkey, facts := range a.derivs {
+			inc.indexDerivation(key, dkey, facts)
+		}
+	}
+}
+
+// indexDerivation links one derivation into the reverse index.
+func (inc *Incremental) indexDerivation(key, dkey string, facts []*db.Fact) {
+	for _, f := range facts {
+		m := inc.byFact[f.ID]
+		if m == nil {
+			m = make(map[string]map[string]bool)
+			inc.byFact[f.ID] = m
+		}
+		if m[key] == nil {
+			m[key] = make(map[string]bool)
+		}
+		m[key][dkey] = true
+	}
+}
+
+// Insert delta-evaluates the already-inserted fact f and splices any new
+// derivations into the maintained answers. It returns the tuples whose
+// lineage changed (including tuples that newly appeared).
+func (inc *Incremental) Insert(f *db.Fact) ([]db.Tuple, error) {
+	derivs, err := EvalDelta(inc.d, inc.q, f)
+	if err != nil {
+		return nil, err
+	}
+	changedSet := make(map[string]*liveAnswer)
+	for _, dv := range derivs {
+		key := dv.Tuple.Key()
+		dkey := derivKey(dv.Facts)
+		if a, ok := inc.answers[key]; ok {
+			if _, dup := a.derivs[dkey]; dup {
+				continue
+			}
+		}
+		if len(changedSet) == 0 {
+			inc.epoch++
+		}
+		changedSet[key] = inc.addDerivation(dv)
+	}
+	changed := make([]db.Tuple, 0, len(changedSet))
+	for _, a := range changedSet {
+		a.epoch = inc.epoch
+		changed = append(changed, a.tuple)
+	}
+	return changed, nil
+}
+
+// Delete removes every derivation supported by the fact with the given ID
+// and returns the tuples whose lineage changed (including tuples that
+// vanished from the answer set). The fact may already be gone from the
+// database; only the index is consulted.
+func (inc *Incremental) Delete(id db.FactID) []db.Tuple {
+	inc.ensureIndex()
+	touched := inc.byFact[id]
+	if len(touched) == 0 {
+		return nil
+	}
+	inc.epoch++
+	var changed []db.Tuple
+	for akey, dkeys := range touched {
+		a := inc.answers[akey]
+		for dkey := range dkeys {
+			support := a.derivs[dkey]
+			delete(a.derivs, dkey)
+			// Unlink the derivation from every other supporting fact's
+			// index so the reverse index never references dead entries.
+			for _, f := range support {
+				if f.ID == id {
+					continue
+				}
+				if m := inc.byFact[f.ID]; m != nil {
+					delete(m[akey], dkey)
+					if len(m[akey]) == 0 {
+						delete(m, akey)
+					}
+					if len(m) == 0 {
+						delete(inc.byFact, f.ID)
+					}
+				}
+			}
+		}
+		changed = append(changed, a.tuple)
+		if len(a.derivs) == 0 {
+			delete(inc.answers, akey)
+			continue
+		}
+		a.lineage = nil
+		a.epoch = inc.epoch
+	}
+	delete(inc.byFact, id)
+	return changed
+}
+
+// addDerivation records the derivation, marking its answer dirty; the
+// answer is created if the tuple is new. Returns the (possibly new) answer.
+func (inc *Incremental) addDerivation(dv Derivation) *liveAnswer {
+	key := dv.Tuple.Key()
+	a, ok := inc.answers[key]
+	if !ok {
+		a = &liveAnswer{tuple: dv.Tuple, derivs: make(map[string][]*db.Fact), epoch: inc.epoch}
+		inc.answers[key] = a
+	}
+	dkey := derivKey(dv.Facts)
+	if _, dup := a.derivs[dkey]; dup {
+		return a
+	}
+	a.derivs[dkey] = dv.Facts
+	a.lineage = nil
+	if inc.byFact != nil {
+		inc.indexDerivation(key, dkey, dv.Facts)
+	}
+	return a
+}
+
+// Live returns the current answers sorted by tuple, rebuilding the lineage
+// of any answer whose derivation set changed since the last call. Lineage
+// reconstruction is deterministic (derivations in sorted-key order) and
+// touches only dirty answers.
+func (inc *Incremental) Live() []LiveAnswer {
+	keys := make([]string, 0, len(inc.answers))
+	for k := range inc.answers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]LiveAnswer, 0, len(keys))
+	for _, k := range keys {
+		a := inc.answers[k]
+		if a.lineage == nil {
+			dkeys := make([]string, 0, len(a.derivs))
+			for dk := range a.derivs {
+				dkeys = append(dkeys, dk)
+			}
+			sort.Strings(dkeys)
+			conjs := make([]*circuit.Node, len(dkeys))
+			for i, dk := range dkeys {
+				conjs[i] = Derivation{Tuple: a.tuple, Facts: a.derivs[dk]}.Conjunction(inc.b, inc.opts)
+			}
+			a.lineage = inc.b.Or(conjs...)
+		}
+		out = append(out, LiveAnswer{
+			Answer: Answer{Tuple: a.tuple, Lineage: a.lineage},
+			Key:    k,
+			Epoch:  a.epoch,
+		})
+	}
+	return out
+}
+
+// Answers returns the current answers in Eval's format and order.
+func (inc *Incremental) Answers() []Answer {
+	live := inc.Live()
+	out := make([]Answer, len(live))
+	for i, a := range live {
+		out[i] = a.Answer
+	}
+	return out
+}
+
+// derivKey renders a support set (sorted by fact ID) as a map key.
+func derivKey(facts []*db.Fact) string {
+	var sb strings.Builder
+	for i, f := range facts {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(f.ID)))
+	}
+	return sb.String()
+}

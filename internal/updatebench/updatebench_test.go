@@ -1,0 +1,41 @@
+package updatebench
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestRunUpdateBenchSmallCorpus(t *testing.T) {
+	opts := bench.DefaultOptions()
+	opts.TPCH = opts.TPCH.Scaled(0.25)
+	opts.IMDB = opts.IMDB.Scaled(0.25)
+	rep, err := RunUpdateBench(context.Background(), opts,
+		[]int{1, 2}, map[string]bool{"q3": true, "1a": true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("no measurement points produced")
+	}
+	for _, p := range rep.Points {
+		if !p.ValuesMatch {
+			t.Errorf("%s/%s batch %d: incremental and cold explanations diverged",
+				p.Dataset, p.Query, p.BatchSize)
+		}
+		if p.IncrementalMillis <= 0 || p.RecomputeMillis <= 0 {
+			t.Errorf("%s/%s batch %d: non-positive timings %+v",
+				p.Dataset, p.Query, p.BatchSize, p)
+		}
+		if p.ChangedTuples < 1 || p.ChangedTuples > p.Tuples {
+			t.Errorf("%s/%s batch %d: implausible changed-tuple count %d of %d",
+				p.Dataset, p.Query, p.BatchSize, p.ChangedTuples, p.Tuples)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_update.json")
+	if err := WriteUpdateBench(path, rep); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,8 +39,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/dnnf"
-	"repro/internal/engine"
-	"repro/internal/parallel"
 	"repro/internal/pqe"
 	"repro/internal/query"
 )
@@ -128,17 +126,19 @@ type Options struct {
 	// explained in parallel, and leftover workers fan out Algorithm 1's
 	// per-fact loop within each tuple. Zero (the default) means GOMAXPROCS;
 	// 1 forces the fully serial pipeline. Results are identical — and
-	// identically ordered — for every setting.
+	// identically ordered — for every setting. Negative values are invalid.
 	Workers int
 	// CompileWorkers bounds the knowledge compiler's intra-compilation
 	// fan-out: independent connected components of each CNF compile
 	// concurrently. Zero (the default) inherits the per-tuple share of the
-	// Workers budget, so the pipeline never oversubscribes; negative means
-	// GOMAXPROCS; ≥ 1 is taken as-is (1 = the sequential compiler).
+	// Workers budget, so the pipeline never oversubscribes; -1 means
+	// GOMAXPROCS; ≥ 1 is taken as-is (1 = the sequential compiler). Other
+	// negative values are invalid.
 	CompileWorkers int
 	// CacheSize sizes the process-wide d-DNNF compilation cache (number of
 	// compiled circuits retained across Explain calls). Zero means the
-	// default size; negative disables cross-call caching.
+	// default size; -1 disables cross-call caching. Other negative values
+	// are invalid.
 	CacheSize int
 	// NoCanonicalCache keys the compilation cache by the byte-identical
 	// CNF rather than its rename-invariant canonical form. By default,
@@ -153,6 +153,33 @@ type Options struct {
 	// and the literal per-fact algorithm otherwise; both produce identical
 	// exact values.
 	Strategy ShapleyStrategy
+}
+
+// Validate checks the options for values no pipeline configuration accepts
+// and returns a descriptive error for the first offender. Explain and Open
+// call it up front, so misconfiguration surfaces at the API boundary
+// instead of being silently clamped deep in the pipeline. The documented
+// sentinels (CompileWorkers == -1 for GOMAXPROCS, CacheSize == -1 to
+// disable caching) remain valid.
+func (o Options) Validate() error {
+	switch {
+	case o.Timeout < 0:
+		return fmt.Errorf("repro: Options.Timeout is negative (%v); use 0 to disable the proxy fallback", o.Timeout)
+	case o.MaxNodes < 0:
+		return fmt.Errorf("repro: Options.MaxNodes is negative (%d); use 0 for an unbounded circuit", o.MaxNodes)
+	case o.Workers < 0:
+		return fmt.Errorf("repro: Options.Workers is negative (%d); use 0 for GOMAXPROCS or 1 for the serial pipeline", o.Workers)
+	case o.CompileWorkers < -1:
+		return fmt.Errorf("repro: Options.CompileWorkers = %d is invalid; use 0 to inherit the per-tuple share, -1 for GOMAXPROCS, or a positive count", o.CompileWorkers)
+	case o.CacheSize < -1:
+		return fmt.Errorf("repro: Options.CacheSize = %d is invalid; use 0 for the default capacity, -1 to disable caching, or a positive capacity", o.CacheSize)
+	}
+	switch o.Strategy {
+	case StrategyAuto, StrategyPerFact, StrategyGradient:
+	default:
+		return fmt.Errorf("repro: Options.Strategy = %d is not a known ShapleyStrategy (use StrategyAuto, StrategyPerFact, or StrategyGradient)", o.Strategy)
+	}
+	return nil
 }
 
 // TupleExplanation is the result for one output tuple: either exact Shapley
@@ -223,70 +250,23 @@ func compileCache(size int) *dnnf.CompileCache {
 // Proxy score). This is the end-to-end pipeline of Figure 3 combined with
 // the Section 6.3 hybrid strategy.
 //
+// Explain is the one-shot form of the stateful API: it opens a Session,
+// explains every tuple once, and closes the session. Callers that ask the
+// same question repeatedly — or that update the database between questions
+// — should hold a Session open instead, which maintains lineage and
+// compiled artifacts incrementally across calls.
+//
 // Output tuples are explained concurrently across opts.Workers goroutines
 // (each answer's lineage is independent of the others), with the slice
 // returned in query-evaluation order regardless of completion order.
 // Cancelling ctx aborts the remaining work and returns the context's error.
 func Explain(ctx context.Context, d *Database, q *Query, opts Options) ([]TupleExplanation, error) {
-	cb := circuit.NewBuilder()
-	answers, err := engine.Eval(d, q, cb, engine.Options{Mode: engine.ModeEndogenous})
+	s, err := Open(d, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	if len(answers) == 0 {
-		return nil, ctx.Err()
-	}
-	cache := compileCache(opts.CacheSize)
-	// Split the worker budget: fan out across answers first, and give each
-	// answer's Algorithm 1 loop the leftover parallelism. A single answer
-	// gets the whole budget for its per-fact loop.
-	workers := parallel.Workers(opts.Workers)
-	outer := workers
-	if outer > len(answers) {
-		outer = len(answers)
-	}
-	inner := workers / outer
-	if inner < 1 {
-		inner = 1
-	}
-	// The compiler's own fan-out defaults to the same per-tuple share, so
-	// compile parallelism composes with answer parallelism instead of
-	// multiplying it.
-	compileWorkers := opts.CompileWorkers
-	if compileWorkers == 0 {
-		compileWorkers = inner
-	}
-	out := make([]TupleExplanation, len(answers))
-	err = parallel.ForEach(ctx, len(answers), outer, func(_, i int) error {
-		a := answers[i]
-		endo := lineageEndo(a.Lineage)
-		h, err := core.Hybrid(ctx, a.Lineage, endo, core.HybridOptions{
-			Timeout:          opts.Timeout,
-			MaxNodes:         opts.MaxNodes,
-			Workers:          inner,
-			CompileWorkers:   compileWorkers,
-			NoCanonicalCache: opts.NoCanonicalCache,
-			Strategy:         opts.Strategy,
-			Cache:            cache,
-		})
-		if err != nil {
-			return err
-		}
-		out[i] = TupleExplanation{
-			Tuple:    a.Tuple,
-			Method:   h.Method,
-			Values:   h.Values,
-			Proxy:    h.Proxy,
-			Ranking:  h.Ranking,
-			NumFacts: len(endo),
-			Elapsed:  h.Elapsed,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	defer s.Close()
+	return s.Explain(ctx)
 }
 
 // ExplainBoolean explains a Boolean query's positive answer. It returns an

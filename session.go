@@ -1,0 +1,305 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dnnf"
+	"repro/internal/engine"
+	"repro/internal/parallel"
+)
+
+// ErrSessionClosed is returned by every method of a closed Session.
+var ErrSessionClosed = errors.New("repro: session is closed")
+
+// Session is a long-lived explanation engine over one database and one
+// query, built for the paper's interactive workload: an analyst asks "why
+// this tuple?" repeatedly against a database that changes between
+// questions. Where the one-shot Explain re-grounds the query, rebuilds
+// lineage, and recompiles circuits from scratch on every call, a Session
+// grounds once at Open and then delta-maintains every per-stage artifact
+// under updates:
+//
+//   - Insert delta-joins only the bindings involving the new fact
+//     (engine.EvalDelta) and splices the new derivations into the affected
+//     answers' lineage;
+//   - Delete drops exactly the derivations supported by the removed fact
+//     via a fact→derivation index, and evicts from the compilation cache
+//     only circuits whose lineage actually mentions it;
+//   - Explain recomputes only the tuples whose lineage epoch advanced —
+//     each tuple's Tseytin CNF, compiled d-DNNF, Shapley values, and final
+//     explanation are cached per lineage epoch (core.Artifacts) and reused
+//     verbatim while the tuple's provenance is unchanged.
+//
+// After any update sequence, Explain returns exactly what a cold Explain on
+// the mutated database would: the same tuples, methods, rankings, and
+// big.Rat-identical Shapley values.
+//
+// Updates routed through the Session are maintained incrementally. The
+// Session also tolerates out-of-band mutations of the underlying Database:
+// it records the database epoch it is synchronized to and, on finding the
+// database ahead (someone called Database.Insert/Delete directly), falls
+// back to re-grounding from scratch — correct, just not incremental.
+//
+// A Session is safe for concurrent use; methods serialize on an internal
+// lock (the per-tuple explanation work inside one Explain call still fans
+// out across Options.Workers goroutines). Returned explanations share
+// cached Shapley value maps across calls and must be treated as read-only.
+type Session struct {
+	mu     sync.Mutex
+	d      *Database
+	q      *Query
+	opts   Options
+	cb     *circuit.Builder
+	inc    *engine.Incremental
+	cache  *dnnf.CompileCache
+	epoch  uint64 // db.Epoch() the session state reflects
+	tuples map[string]*sessionTuple
+	closed bool
+}
+
+// sessionTuple carries one output tuple's cached pipeline state across
+// Explain calls: the per-stage artifacts and the finished explanation, each
+// valid for the lineage epoch they were computed at.
+type sessionTuple struct {
+	epoch uint64
+	art   *core.Artifacts
+	expl  *TupleExplanation
+}
+
+// Open validates the options, evaluates the query once (grounding + lineage
+// construction), and returns a session ready to Explain and to absorb
+// updates. The database is captured by reference: route updates through
+// Session.Insert / Session.Delete to get incremental maintenance.
+func Open(d *Database, q *Query, opts Options) (*Session, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		d:     d,
+		q:     q,
+		opts:  opts,
+		cache: compileCache(opts.CacheSize),
+	}
+	if err := s.ground(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ground (re)builds the session's evaluation state from the current
+// database, dropping all cached artifacts. Callers hold s.mu (or own s
+// exclusively, as Open does).
+func (s *Session) ground() error {
+	s.cb = circuit.NewBuilder()
+	inc, err := engine.NewIncremental(s.d, s.q, s.cb, engine.Options{Mode: engine.ModeEndogenous})
+	if err != nil {
+		return err
+	}
+	s.inc = inc
+	s.tuples = make(map[string]*sessionTuple)
+	s.epoch = s.d.Epoch()
+	return nil
+}
+
+// sync re-grounds if the database was mutated out-of-band since the session
+// last saw it. Callers hold s.mu.
+func (s *Session) sync() error {
+	if s.d.Epoch() == s.epoch {
+		return nil
+	}
+	return s.ground()
+}
+
+// Insert adds a fact to the database (see Database.Insert) and
+// delta-maintains the session's answers: only join bindings involving the
+// new fact are evaluated, and only the output tuples whose lineage gained a
+// derivation are re-explained by the next Explain call.
+func (s *Session) Insert(relation string, endogenous bool, values ...Value) (*Fact, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if err := s.sync(); err != nil {
+		return nil, err
+	}
+	f, err := s.d.Insert(relation, endogenous, values...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.inc.Insert(f); err != nil {
+		return nil, err
+	}
+	s.epoch = s.d.Epoch()
+	return f, nil
+}
+
+// Delete removes the fact with the given ID from the database (see
+// Database.Delete) and delta-maintains the session's answers: exactly the
+// derivations supported by the fact disappear, answers left without
+// derivations leave the result, and compiled circuits whose lineage
+// mentions the fact are evicted from the compilation cache. Circuits over
+// other facts — including renamed-isomorphic cache entries serving other
+// tuples — survive.
+func (s *Session) Delete(id FactID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if err := s.sync(); err != nil {
+		return err
+	}
+	f := s.d.Fact(id)
+	if f == nil {
+		return fmt.Errorf("db: no fact with ID %d", id)
+	}
+	if err := s.d.Delete(id); err != nil {
+		return err
+	}
+	s.inc.Delete(id)
+	if f.Endogenous && s.cache != nil {
+		s.cache.Invalidate(s.d.ID(), int(id))
+	}
+	s.epoch = s.d.Epoch()
+	return nil
+}
+
+// Explain returns the explanation of every current output tuple, exactly as
+// the one-shot Explain would on the current database state, recomputing
+// only tuples whose lineage changed since the previous call. Unchanged
+// tuples are served from the session cache (including their Elapsed, which
+// reports the cost of the original computation).
+func (s *Session) Explain(ctx context.Context) ([]TupleExplanation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if err := s.sync(); err != nil {
+		return nil, err
+	}
+	live := s.inc.Live()
+	if len(live) == 0 {
+		return nil, ctx.Err()
+	}
+
+	// Prune cache entries for tuples that left the answer set, and make
+	// sure every live tuple has an entry before the parallel fan-out (each
+	// worker then touches only its own entry).
+	liveKeys := make(map[string]bool, len(live))
+	for _, a := range live {
+		liveKeys[a.Key] = true
+		if s.tuples[a.Key] == nil {
+			s.tuples[a.Key] = &sessionTuple{art: &core.Artifacts{}}
+		}
+	}
+	for k := range s.tuples {
+		if !liveKeys[k] {
+			delete(s.tuples, k)
+		}
+	}
+
+	// Split the worker budget exactly as the one-shot pipeline does: fan
+	// out across answers first, give each answer's Algorithm 1 loop the
+	// leftover parallelism.
+	workers := parallel.Workers(s.opts.Workers)
+	outer := workers
+	if outer > len(live) {
+		outer = len(live)
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	compileWorkers := s.opts.CompileWorkers
+	if compileWorkers == 0 {
+		compileWorkers = inner
+	}
+
+	out := make([]TupleExplanation, len(live))
+	err := parallel.ForEach(ctx, len(live), outer, func(_, i int) error {
+		a := live[i]
+		entry := s.tuples[a.Key]
+		if entry.expl != nil && entry.epoch == a.Epoch {
+			out[i] = *entry.expl
+			return nil
+		}
+		endo := lineageEndo(a.Lineage)
+		h, err := core.HybridAt(ctx, a.Lineage, endo, a.Epoch, entry.art, core.HybridOptions{
+			Timeout:          s.opts.Timeout,
+			MaxNodes:         s.opts.MaxNodes,
+			Workers:          inner,
+			CompileWorkers:   compileWorkers,
+			NoCanonicalCache: s.opts.NoCanonicalCache,
+			Strategy:         s.opts.Strategy,
+			Cache:            s.cache,
+			CacheOwner:       s.d.ID(),
+		})
+		if err != nil {
+			return err
+		}
+		expl := &TupleExplanation{
+			Tuple:    a.Tuple,
+			Method:   h.Method,
+			Values:   h.Values,
+			Proxy:    h.Proxy,
+			Ranking:  h.Ranking,
+			NumFacts: len(endo),
+			Elapsed:  h.Elapsed,
+		}
+		entry.expl, entry.epoch = expl, a.Epoch
+		out[i] = *expl
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NumAnswers returns the current number of output tuples without explaining
+// them (lineage maintenance is still applied).
+func (s *Session) NumAnswers() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrSessionClosed
+	}
+	if err := s.sync(); err != nil {
+		return 0, err
+	}
+	return s.inc.Len(), nil
+}
+
+// CacheStats returns a snapshot of the compilation cache counters the
+// session contributes to (the process-wide cache shared across sessions),
+// or a zero snapshot when caching is disabled.
+func (s *Session) CacheStats() dnnf.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return dnnf.CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// Close releases the session's cached state. The database is left exactly
+// as the session's updates made it; only the session becomes unusable.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.closed = true
+	s.inc = nil
+	s.tuples = nil
+	s.cb = nil
+	return nil
+}
