@@ -1,0 +1,96 @@
+// Command serveload is the explanation service's load generator CLI: it
+// drives a shapleyd instance (or an in-process server when -url is empty)
+// over HTTP with a configurable explain:update mix at several concurrency
+// levels, prints the pooled vs open-per-request head-to-head, and writes
+// BENCH_serve.json. It exits non-zero on any non-2xx response or any served
+// value that is not big.Rat-identical to a cold repro.Explain, so CI can
+// use it as a serve-smoke gate.
+//
+// Usage:
+//
+//	serveload                                   # in-process server
+//	serveload -url http://127.0.0.1:8080        # externally started shapleyd
+//	serveload -clients 1,4,16 -requests 8 -update-every 4 -json BENCH_serve.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/servebench"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "target server base URL (empty = start an in-process server)")
+		clients = flag.String("clients", "1,4,16", "comma-separated concurrency levels")
+		reqs    = flag.Int("requests", 8, "explain requests per client per phase")
+		updEv   = flag.Int("update-every", 4, "one update per this many explains in the mixed phase (-1 disables)")
+		jsonOut = flag.String("json", "", "write BENCH_serve.json to this path (\"-\" = stdout)")
+		pool    = flag.Int("pool", server.DefaultPoolSize, "in-process server's session pool capacity")
+		timeout = flag.Duration("timeout", 2500*time.Millisecond, "per-tuple exact budget for the in-process server and the cold reference")
+	)
+	flag.Parse()
+
+	var levels []int
+	for _, part := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "serveload: bad -clients entry %q\n", part)
+			os.Exit(1)
+		}
+		levels = append(levels, n)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := servebench.Run(ctx, servebench.Options{
+		TargetURL:   *url,
+		Clients:     levels,
+		Requests:    *reqs,
+		UpdateEvery: *updEv,
+		PoolSize:    *pool,
+		Repro:       repro.Options{Timeout: *timeout},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("target: %s  (%d value cross-checks passed)\n", rep.Target, rep.ValueChecks)
+	for _, lv := range rep.Levels {
+		fmt.Printf("%-16s clients=%-3d explains=%-4d updates=%-4d p50=%.2fms p95=%.2fms p99=%.2fms  %.1f req/s\n",
+			lv.Mode, lv.Clients, lv.Explains, lv.Updates,
+			lv.Latency.P50Ms, lv.Latency.P95Ms, lv.Latency.P99Ms, lv.ThroughputRPS)
+	}
+	for _, h := range rep.HeadToHead {
+		fmt.Printf("head-to-head clients=%-3d pooled p50 %.2fms vs open-per-request %.2fms (%.1fx); throughput %.1f vs %.1f req/s (%.1fx)\n",
+			h.Clients, h.PooledP50Ms, h.UnpooledP50Ms, h.P50Speedup,
+			h.PooledRPS, h.UnpooledRPS, h.ThroughputSpeedup)
+	}
+	fmt.Printf("session pool: opens=%d reuses=%d evictions=%d update requests=%d batches=%d coalesced=%d\n",
+		rep.Pool.Opens, rep.Pool.Reuses, rep.Pool.Evictions,
+		rep.Pool.UpdateRequests, rep.Pool.UpdateBatches, rep.Pool.CoalescedBatches)
+	fmt.Printf("compile cache: %d hits (%d identical, %d renamed), %d misses, %d evictions, %d invalidations\n",
+		rep.Cache.Hits, rep.Cache.IdenticalHits, rep.Cache.RenamedHits,
+		rep.Cache.Misses, rep.Cache.Evictions, rep.Cache.Invalidations)
+
+	if *jsonOut != "" {
+		if err := servebench.Write(*jsonOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+	}
+}

@@ -11,10 +11,12 @@
 //	shapley -dataset imdb -query 8d -top 5
 //	shapley -dataset tpch -q "q(ck) :- customer(ck, cn, nk, seg, cb), orders(ok, ck, os, tp, od, op)"
 //	shapley -dataset flights -method proxy
+//	shapley -dataset flights -json          # machine-readable (wire) output
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/flights"
 	"repro/internal/imdb"
 	"repro/internal/tpch"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func main() {
 		cache   = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, negative = disabled)")
 		nocanon = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of by canonical (rename-invariant) form")
 		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable wire encoding (the same JSON the shapleyd service serves) instead of text")
 	)
 	flag.Parse()
 
@@ -81,6 +85,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shapley:", err)
 		os.Exit(1)
+	}
+	if *asJSON {
+		// Same encoding package as the shapleyd service, so a CLI run and a
+		// served response for the same database state are diffable.
+		resp := wire.ExplainResponse{
+			Dataset:   *dataset,
+			Query:     q.String(),
+			ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+			Tuples:    wire.EncodeExplanations(d, explanations, *top),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fmt.Fprintln(os.Stderr, "shapley:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("query:\n%s\n\n%d output tuple(s) in %v\n\n", q, len(explanations), time.Since(start))
 	for _, e := range explanations {

@@ -1,0 +1,120 @@
+// Command shapleyd serves Shapley explanations over HTTP: it loads the
+// requested datasets, opens a bounded pool of warm explanation sessions —
+// one per (dataset, query), maintained incrementally under updates — and
+// answers the wire API of internal/server:
+//
+//	POST /v1/explain  {"dataset": "flights", "query": "q() :- ...", "top": 3}
+//	POST /v1/update   {"dataset": "flights", "query": "...", "inserts": [...], "deletes": [...]}
+//	GET  /v1/stats    session-pool, compile-cache, and request counters
+//	GET  /healthz     liveness
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting (bounded by
+// -drain), then close the pool.
+//
+// Usage:
+//
+//	shapleyd -addr :8080 -datasets flights
+//	shapleyd -addr :8080 -datasets flights,tpch,imdb -scale 0.5 -pool 16 -timeout 2.5s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/flights"
+	"repro/internal/imdb"
+	"repro/internal/server"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		datasets = flag.String("datasets", "flights", "comma-separated datasets to serve: flights, tpch, imdb")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor for tpch/imdb")
+		poolSize = flag.Int("pool", server.DefaultPoolSize, "session pool capacity (warm (dataset, query) sessions; LRU beyond)")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		timeout  = flag.Duration("timeout", 2500*time.Millisecond, "exact-computation budget per output tuple (0 = unbounded)")
+		workers  = flag.Int("workers", 0, "per-request pipeline concurrency (0 = GOMAXPROCS, 1 = serial)")
+		cworker  = flag.Int("compile-workers", 0, "knowledge-compiler component fan-out (0 = inherit, -1 = GOMAXPROCS, 1 = sequential)")
+		cache    = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, -1 = disabled)")
+		nocanon  = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of canonically")
+		strat    = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
+	)
+	flag.Parse()
+
+	strategy, err := repro.ParseShapleyStrategy(*strat)
+	if err != nil {
+		log.Fatalf("shapleyd: %v", err)
+	}
+
+	cfg := server.Config{
+		Datasets: make(map[string]*repro.Database),
+		PoolSize: *poolSize,
+		Options: repro.Options{
+			Timeout:          *timeout,
+			Workers:          *workers,
+			CompileWorkers:   *cworker,
+			CacheSize:        *cache,
+			NoCanonicalCache: *nocanon,
+			Strategy:         strategy,
+		},
+	}
+	for _, name := range strings.Split(*datasets, ",") {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		switch name {
+		case "flights":
+			d, _ := flights.Build()
+			cfg.Datasets[name] = d
+		case "tpch":
+			cfg.Datasets[name] = tpch.Generate(tpch.DefaultConfig().Scaled(*scale))
+		case "imdb":
+			cfg.Datasets[name] = imdb.Generate(imdb.DefaultConfig().Scaled(*scale))
+		case "":
+			continue
+		default:
+			log.Fatalf("shapleyd: unknown dataset %q (want flights, tpch, or imdb)", name)
+		}
+		log.Printf("loaded dataset %s (%d facts) in %v",
+			name, cfg.Datasets[name].NumFacts(), time.Since(start).Round(time.Millisecond))
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("shapleyd: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("shapleyd listening on %s (pool %d, %d dataset(s))", *addr, *poolSize, len(cfg.Datasets))
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("shapleyd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining in-flight requests (budget %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "shapleyd: shutdown: %v\n", err)
+	}
+	s.Close()
+	log.Printf("bye")
+}

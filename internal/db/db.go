@@ -10,10 +10,23 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync/atomic"
+)
+
+// Sentinel errors for client-addressable failure modes, wrapped (errors.Is)
+// by every mutation-path error so callers — the HTTP service's status
+// mapping, for one — can classify failures without matching message text.
+var (
+	// ErrUnknownRelation means a relation name is not in the schema.
+	ErrUnknownRelation = errors.New("unknown relation")
+	// ErrNoFact means a fact ID (or content description) matches nothing.
+	ErrNoFact = errors.New("no fact")
+	// ErrArity means a value list does not match the relation's schema.
+	ErrArity = errors.New("arity mismatch")
 )
 
 // Kind enumerates the value types supported by the engine.
@@ -285,11 +298,11 @@ func (d *Database) RelationNames() []string {
 func (d *Database) Insert(relation string, endogenous bool, values ...Value) (*Fact, error) {
 	rel, ok := d.relations[relation]
 	if !ok {
-		return nil, fmt.Errorf("db: unknown relation %q", relation)
+		return nil, fmt.Errorf("db: %w %q", ErrUnknownRelation, relation)
 	}
 	if len(values) != rel.Schema.Arity() {
-		return nil, fmt.Errorf("db: relation %q has arity %d, got %d values",
-			relation, rel.Schema.Arity(), len(values))
+		return nil, fmt.Errorf("db: relation %q has arity %d, got %d values: %w",
+			relation, rel.Schema.Arity(), len(values), ErrArity)
 	}
 	f := &Fact{
 		ID:         d.nextID,
@@ -311,7 +324,7 @@ func (d *Database) Insert(relation string, endogenous bool, values ...Value) (*F
 func (d *Database) Delete(id FactID) error {
 	f, ok := d.facts[id]
 	if !ok {
-		return fmt.Errorf("db: no fact with ID %d", id)
+		return fmt.Errorf("db: %w with ID %d", ErrNoFact, id)
 	}
 	rel := d.relations[f.Relation]
 	for i, g := range rel.Facts {

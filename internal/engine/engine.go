@@ -151,10 +151,10 @@ func deriveCQ(d *db.Database, cq *query.CQ, pin int, pinFact *db.Fact) ([]Deriva
 	for _, a := range cq.Atoms {
 		rel := d.Relation(a.Relation)
 		if rel == nil {
-			return nil, fmt.Errorf("unknown relation %q", a.Relation)
+			return nil, fmt.Errorf("engine: %w %q", db.ErrUnknownRelation, a.Relation)
 		}
 		if len(a.Args) != rel.Schema.Arity() {
-			return nil, fmt.Errorf("atom %s: relation has arity %d", a, rel.Schema.Arity())
+			return nil, fmt.Errorf("atom %s: relation has arity %d: %w", a, rel.Schema.Arity(), db.ErrArity)
 		}
 	}
 

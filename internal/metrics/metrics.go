@@ -1,11 +1,13 @@
 // Package metrics implements the evaluation metrics of Section 6.2: nDCG
 // (and nDCG@k), Precision@k, L1/L2 distances between value vectors, plus the
-// percentile summaries used in Table 1.
+// percentile summaries used in Table 1 — and the request latency/throughput
+// recorder behind the explanation service's GET /v1/stats.
 package metrics
 
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/db"
@@ -198,6 +200,126 @@ func Durations(ds []time.Duration) []float64 {
 	}
 	return out
 }
+
+// LatencySummary condenses a latency sample into the percentiles a serving
+// dashboard wants. All fields are milliseconds.
+type LatencySummary struct {
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// SummarizeLatency computes nearest-rank latency percentiles in
+// milliseconds. An empty sample yields zeros.
+func SummarizeLatency(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	ms := make([]float64, len(ds))
+	sum := 0.0
+	for i, d := range ds {
+		ms[i] = float64(d) / float64(time.Millisecond)
+		sum += ms[i]
+	}
+	sort.Float64s(ms)
+	return LatencySummary{
+		MeanMs: sum / float64(len(ms)),
+		P50Ms:  percentile(ms, 0.50),
+		P95Ms:  percentile(ms, 0.95),
+		P99Ms:  percentile(ms, 0.99),
+		MaxMs:  ms[len(ms)-1],
+	}
+}
+
+// Recorder aggregates per-route request counters for a serving process:
+// completed requests, non-2xx outcomes, overall request rate, and latency
+// percentiles over a bounded window of the most recent observations (a ring
+// buffer, so a long-lived server reports current behavior rather than its
+// lifetime average). Safe for concurrent use.
+type Recorder struct {
+	mu        sync.Mutex
+	start     time.Time
+	sampleCap int
+	routes    map[string]*routeRecord
+}
+
+type routeRecord struct {
+	count   int64
+	errors  int64
+	samples []time.Duration // ring buffer of the last sampleCap latencies
+	next    int             // ring write cursor once len == sampleCap
+}
+
+// DefaultLatencyWindow is the per-route latency ring size used when
+// NewRecorder is asked for a recorder without saying how much history.
+const DefaultLatencyWindow = 4096
+
+// NewRecorder returns an empty request recorder keeping up to sampleCap
+// latency observations per route (≤ 0 = DefaultLatencyWindow).
+func NewRecorder(sampleCap int) *Recorder {
+	if sampleCap <= 0 {
+		sampleCap = DefaultLatencyWindow
+	}
+	return &Recorder{start: time.Now(), sampleCap: sampleCap, routes: make(map[string]*routeRecord)}
+}
+
+// Observe records one completed request: its route label, HTTP status, and
+// latency. Statuses outside 2xx count as errors.
+func (r *Recorder) Observe(route string, status int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.routes[route]
+	if rec == nil {
+		rec = &routeRecord{}
+		r.routes[route] = rec
+	}
+	rec.count++
+	if status < 200 || status >= 300 {
+		rec.errors++
+	}
+	if len(rec.samples) < r.sampleCap {
+		rec.samples = append(rec.samples, d)
+	} else {
+		rec.samples[rec.next] = d
+		rec.next = (rec.next + 1) % r.sampleCap
+	}
+}
+
+// RouteStats is one route's snapshot from Recorder.Snapshot.
+type RouteStats struct {
+	Route         string
+	Count, Errors int64
+	// RatePerSec is lifetime completed requests over the recorder's uptime.
+	RatePerSec float64
+	Latency    LatencySummary
+}
+
+// Snapshot returns per-route statistics sorted by route label.
+func (r *Recorder) Snapshot() []RouteStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	uptime := time.Since(r.start).Seconds()
+	out := make([]RouteStats, 0, len(r.routes))
+	for route, rec := range r.routes {
+		rs := RouteStats{
+			Route:   route,
+			Count:   rec.count,
+			Errors:  rec.errors,
+			Latency: SummarizeLatency(rec.samples),
+		}
+		if uptime > 0 {
+			rs.RatePerSec = float64(rec.count) / uptime
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// Uptime returns how long the recorder has been alive.
+func (r *Recorder) Uptime() time.Duration { return time.Since(r.start) }
 
 // Median returns the nearest-rank median of the sample.
 func Median(xs []float64) float64 {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -120,5 +121,67 @@ func TestRankByScore(t *testing.T) {
 	r := RankByScore(scores)
 	if r[0] != 2 || r[1] != 9 || r[2] != 5 {
 		t.Errorf("RankByScore = %v, want [2 9 5]", r)
+	}
+}
+
+func TestSummarizeLatency(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	s := SummarizeLatency(ds)
+	approxEq(t, s.MeanMs, 50.5, "mean")
+	approxEq(t, s.P50Ms, 50, "p50")
+	approxEq(t, s.P95Ms, 95, "p95")
+	approxEq(t, s.P99Ms, 99, "p99")
+	approxEq(t, s.MaxMs, 100, "max")
+	if z := SummarizeLatency(nil); z != (LatencySummary{}) {
+		t.Errorf("empty sample: %+v, want zeros", z)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(4)
+	r.Observe("/v1/explain", 200, 10*time.Millisecond)
+	r.Observe("/v1/explain", 500, 20*time.Millisecond)
+	r.Observe("/v1/update", 200, 1*time.Millisecond)
+	// Overflow the 4-sample ring: only the last 4 latencies survive.
+	for i := 0; i < 6; i++ {
+		r.Observe("/v1/explain", 200, time.Duration(i+1)*100*time.Millisecond)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Route != "/v1/explain" || snap[1].Route != "/v1/update" {
+		t.Fatalf("snapshot routes: %+v", snap)
+	}
+	e := snap[0]
+	if e.Count != 8 || e.Errors != 1 {
+		t.Errorf("explain count=%d errors=%d, want 8/1", e.Count, e.Errors)
+	}
+	// Ring holds 300..600ms after the overflow.
+	approxEq(t, e.Latency.MaxMs, 600, "ring max")
+	approxEq(t, e.Latency.P50Ms, 400, "ring p50")
+	if e.RatePerSec <= 0 {
+		t.Errorf("rate %f, want > 0", e.RatePerSec)
+	}
+	if snap[1].Errors != 0 || snap[1].Count != 1 {
+		t.Errorf("update route: %+v", snap[1])
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Observe("/x", 200, time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if snap := r.Snapshot(); snap[0].Count != 800 {
+		t.Errorf("count %d, want 800", snap[0].Count)
 	}
 }

@@ -1,0 +1,521 @@
+// Package servebench is the explanation service's load generator: it drives
+// a server (an in-process one it starts itself, or an externally started
+// shapleyd via TargetURL) over real HTTP with a configurable explain:update
+// mix at several concurrency levels, records client-side latency
+// percentiles and throughput, runs the pooled vs open-per-request
+// head-to-head, and cross-checks quiesced served values big.Rat-identically
+// against a cold repro.Explain. The report serializes to BENCH_serve.json.
+package servebench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/flights"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Options configures a load-generation run.
+type Options struct {
+	// TargetURL drives an already-running server (e.g. a shapleyd started
+	// by CI) instead of an in-process one. The target must serve a freshly
+	// built copy of Dataset, since the value cross-check compares against a
+	// locally built reference database. Empty starts an in-process server.
+	TargetURL string
+	// Dataset names the served database; only "flights" is built in (the
+	// paper's running example — small enough that request overhead, not
+	// pipeline cost, dominates, which is what a serving benchmark wants).
+	Dataset string
+	// Query is the UCQ text explained throughout; defaults to the flights
+	// Figure 1 query.
+	Query string
+	// Clients lists the concurrency levels (default 1, 4, 16).
+	Clients []int
+	// Requests is the number of explain requests per client per phase
+	// (default 8).
+	Requests int
+	// UpdateEvery issues one update request per that many explains in the
+	// mixed phase (default 4; ≤ 0 disables the mixed phase).
+	UpdateEvery int
+	// PoolSize bounds the in-process server's session pool.
+	PoolSize int
+	// Repro configures the in-process server's sessions and the cold
+	// reference computation.
+	Repro repro.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dataset == "" {
+		o.Dataset = "flights"
+	}
+	if o.Query == "" {
+		o.Query = flights.Query().String()
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = []int{1, 4, 16}
+	}
+	if o.Requests <= 0 {
+		o.Requests = 8
+	}
+	if o.UpdateEvery == 0 {
+		o.UpdateEvery = 4
+	}
+	return o
+}
+
+// Level is one (mode, concurrency) measurement.
+type Level struct {
+	// Mode is "open-per-request", "pooled", or "mixed-pooled".
+	Mode    string `json:"mode"`
+	Clients int    `json:"clients"`
+	// Explains and Updates count completed requests across all clients.
+	Explains int `json:"explains"`
+	Updates  int `json:"updates,omitempty"`
+	// ElapsedMs is the phase wall clock; ThroughputRPS is requests
+	// (explains + updates) over it.
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency summarizes client-observed explain latencies.
+	Latency metrics.LatencySummary `json:"latency"`
+}
+
+// HeadToHead compares the pooled and open-per-request explain phases at one
+// concurrency level.
+type HeadToHead struct {
+	Clients           int     `json:"clients"`
+	PooledP50Ms       float64 `json:"pooled_p50_ms"`
+	UnpooledP50Ms     float64 `json:"unpooled_p50_ms"`
+	P50Speedup        float64 `json:"p50_speedup"`
+	PooledRPS         float64 `json:"pooled_rps"`
+	UnpooledRPS       float64 `json:"unpooled_rps"`
+	ThroughputSpeedup float64 `json:"throughput_speedup"`
+}
+
+// Report is the BENCH_serve.json payload.
+type Report struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	// Target is "in-process" or the external URL driven.
+	Target     string       `json:"target"`
+	Levels     []Level      `json:"levels"`
+	HeadToHead []HeadToHead `json:"head_to_head"`
+	// Pool and Cache are the server's final /v1/stats counters: the
+	// session-pool opens/reuses/evictions and coalesced update batches
+	// next to the compilation cache's numbers.
+	Pool  wire.PoolStats  `json:"pool"`
+	Cache wire.CacheStats `json:"cache"`
+	// ValueChecks counts served explanations cross-checked
+	// big.Rat-identical against a cold repro.Explain (the run fails on the
+	// first mismatch).
+	ValueChecks int `json:"value_checks"`
+}
+
+// Run executes the load generation and returns the report, failing on any
+// non-2xx response or any served value not big.Rat-identical to the cold
+// reference.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.Dataset != "flights" {
+		return nil, fmt.Errorf("servebench: unknown dataset %q (only flights is built in)", opts.Dataset)
+	}
+
+	base := opts.TargetURL
+	target := base
+	if base == "" {
+		target = "in-process"
+		d, _ := flights.Build()
+		srv, err := server.New(server.Config{
+			Datasets: map[string]*repro.Database{"flights": d},
+			Options:  opts.Repro,
+			PoolSize: opts.PoolSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Cold reference on a locally built equivalent database, keyed by fact
+	// content (relation + tuple) so it is robust to server-side fact-ID
+	// drift from earlier net-zero updates.
+	ref, err := coldReference(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Dataset: opts.Dataset, Query: opts.Query, Target: target}
+
+	// Warm both paths once so every timed phase measures steady state (the
+	// compile cache is process-wide, so the open-per-request baseline is
+	// compile-warm too — the head-to-head isolates grounding + session
+	// reuse, which is exactly what the pool adds).
+	for _, noPool := range []bool{true, false} {
+		if _, _, err := postExplain(ctx, client, base, opts, noPool); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, c := range opts.Clients {
+		unpooled, upLat, err := runExplainPhase(ctx, client, base, opts, "open-per-request", c, true)
+		if err != nil {
+			return nil, err
+		}
+		rep.Levels = append(rep.Levels, unpooled)
+		pooled, poLat, err := runExplainPhase(ctx, client, base, opts, "pooled", c, false)
+		if err != nil {
+			return nil, err
+		}
+		rep.Levels = append(rep.Levels, pooled)
+		h := HeadToHead{
+			Clients:       c,
+			PooledP50Ms:   metrics.SummarizeLatency(poLat).P50Ms,
+			UnpooledP50Ms: metrics.SummarizeLatency(upLat).P50Ms,
+			PooledRPS:     pooled.ThroughputRPS,
+			UnpooledRPS:   unpooled.ThroughputRPS,
+		}
+		if h.PooledP50Ms > 0 {
+			h.P50Speedup = h.UnpooledP50Ms / h.PooledP50Ms
+		}
+		if h.UnpooledRPS > 0 {
+			h.ThroughputSpeedup = h.PooledRPS / h.UnpooledRPS
+		}
+		rep.HeadToHead = append(rep.HeadToHead, h)
+
+		if opts.UpdateEvery > 0 {
+			mixed, _, err := runMixedPhase(ctx, client, base, opts, c)
+			if err != nil {
+				return nil, err
+			}
+			rep.Levels = append(rep.Levels, mixed)
+		}
+
+		// Quiesced cross-check through both paths: the update traffic was
+		// net-zero, so served values must match the cold reference.
+		for _, noPool := range []bool{false, true} {
+			resp, _, err := postExplain(ctx, client, base, opts, noPool)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkAgainstReference(ref, resp); err != nil {
+				return nil, fmt.Errorf("servebench: %d clients, nopool=%v: %w", c, noPool, err)
+			}
+			rep.ValueChecks++
+		}
+	}
+
+	// Final server-side counters: pool next to compile cache.
+	st, err := getStats(ctx, client, base)
+	if err != nil {
+		return nil, err
+	}
+	rep.Pool, rep.Cache = st.Pool, st.Cache
+	return rep, nil
+}
+
+// runExplainPhase fires clients×Requests explain requests and summarizes.
+func runExplainPhase(ctx context.Context, client *http.Client, base string, opts Options, mode string, clients int, noPool bool) (Level, []time.Duration, error) {
+	lats := make([][]time.Duration, clients)
+	errs := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < opts.Requests; r++ {
+				_, d, err := postExplain(ctx, client, base, opts, noPool)
+				if err != nil {
+					errs <- err
+					return
+				}
+				lats[c] = append(lats[c], d)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return Level{}, nil, err
+	}
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	lv := Level{
+		Mode:          mode,
+		Clients:       clients,
+		Explains:      len(all),
+		ElapsedMs:     float64(elapsed) / float64(time.Millisecond),
+		ThroughputRPS: float64(len(all)) / elapsed.Seconds(),
+		Latency:       metrics.SummarizeLatency(all),
+	}
+	return lv, all, nil
+}
+
+// runMixedPhase interleaves explains with net-zero update traffic (each
+// client alternately inserts and deletes its own joining flight through the
+// pooled session route, so concurrent clients exercise the coalescing
+// batcher).
+func runMixedPhase(ctx context.Context, client *http.Client, base string, opts Options, clients int) (Level, []time.Duration, error) {
+	usa := []string{"JFK", "EWR", "BOS", "LAX"}
+	lats := make([][]time.Duration, clients)
+	updates := make([]int, clients)
+	errs := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := usa[c%len(usa)]
+			var pendingID int64
+			cleanup := func() error {
+				if pendingID == 0 {
+					return nil
+				}
+				_, err := postUpdate(ctx, client, base, opts, wire.UpdateRequest{
+					Dataset: opts.Dataset, Query: opts.Query,
+					Deletes: []wire.DeleteSpec{{ID: pendingID}},
+				})
+				pendingID = 0
+				return err
+			}
+			for r := 0; r < opts.Requests; r++ {
+				if r%opts.UpdateEvery == opts.UpdateEvery-1 {
+					if pendingID != 0 {
+						if err := cleanup(); err != nil {
+							errs <- err
+							return
+						}
+					} else {
+						resp, err := postUpdate(ctx, client, base, opts, wire.UpdateRequest{
+							Dataset: opts.Dataset, Query: opts.Query,
+							Inserts: []wire.InsertSpec{{
+								Relation: "Flights", Endogenous: true,
+								Values: []json.RawMessage{
+									json.RawMessage(fmt.Sprintf("%q", src)),
+									json.RawMessage(`"ORY"`),
+								},
+							}},
+						})
+						if err != nil {
+							errs <- err
+							return
+						}
+						pendingID = resp.InsertedIDs[0]
+					}
+					updates[c]++
+					continue
+				}
+				_, d, err := postExplain(ctx, client, base, opts, false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				lats[c] = append(lats[c], d)
+			}
+			if err := cleanup(); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return Level{}, nil, err
+	}
+	elapsed := time.Since(start)
+	var all []time.Duration
+	nup := 0
+	for c := range lats {
+		all = append(all, lats[c]...)
+		nup += updates[c]
+	}
+	lv := Level{
+		Mode:          "mixed-pooled",
+		Clients:       clients,
+		Explains:      len(all),
+		Updates:       nup,
+		ElapsedMs:     float64(elapsed) / float64(time.Millisecond),
+		ThroughputRPS: float64(len(all)+nup) / elapsed.Seconds(),
+		Latency:       metrics.SummarizeLatency(all),
+	}
+	return lv, all, nil
+}
+
+func postExplain(ctx context.Context, client *http.Client, base string, opts Options, noPool bool) (*wire.ExplainResponse, time.Duration, error) {
+	body, err := json.Marshal(wire.ExplainRequest{Dataset: opts.Dataset, Query: opts.Query, NoPool: noPool})
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	raw, err := post(ctx, client, base+"/v1/explain", body)
+	d := time.Since(start)
+	if err != nil {
+		return nil, d, err
+	}
+	var resp wire.ExplainResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, d, fmt.Errorf("servebench: bad explain response: %w", err)
+	}
+	return &resp, d, nil
+}
+
+func postUpdate(ctx context.Context, client *http.Client, base string, opts Options, req wire.UpdateRequest) (*wire.UpdateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := post(ctx, client, base+"/v1/update", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.UpdateResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("servebench: bad update response: %w", err)
+	}
+	return &resp, nil
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("servebench: %s -> %d: %s", url, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return raw, nil
+}
+
+func getStats(ctx context.Context, client *http.Client, base string) (*wire.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("servebench: /v1/stats -> %d: %s", resp.StatusCode, raw)
+	}
+	var st wire.StatsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// coldReference computes the ground truth the served values are checked
+// against: a cold repro.Explain on a freshly built dataset, keyed by fact
+// content.
+func coldReference(ctx context.Context, opts Options) (map[string]string, error) {
+	d, _ := flights.Build()
+	q, err := repro.ParseQuery(opts.Query)
+	if err != nil {
+		return nil, err
+	}
+	es, err := repro.Explain(ctx, d, q, opts.Repro)
+	if err != nil {
+		return nil, err
+	}
+	ref := make(map[string]string)
+	for i := range es {
+		for id, v := range es[i].Values {
+			f := d.Fact(id)
+			if f == nil {
+				return nil, fmt.Errorf("servebench: reference fact %d missing", id)
+			}
+			ref[contentKey(f.Relation, wire.EncodeTuple(f.Tuple))] = v.RatString()
+		}
+	}
+	return ref, nil
+}
+
+// contentKey renders a fact's identity independently of fact IDs and of
+// which side (encoder or JSON decoder) produced the tuple values.
+func contentKey(relation string, tuple []any) string {
+	parts := make([]string, len(tuple))
+	for i, v := range tuple {
+		parts[i] = fmt.Sprint(v)
+	}
+	return relation + "(" + strings.Join(parts, ",") + ")"
+}
+
+// checkAgainstReference verifies every served fact value is
+// big.Rat-identical (by exact rational string) to the cold reference.
+func checkAgainstReference(ref map[string]string, resp *wire.ExplainResponse) error {
+	seen := 0
+	for _, tup := range resp.Tuples {
+		if tup.Method != "exact" {
+			return fmt.Errorf("served method %q, want exact", tup.Method)
+		}
+		for _, f := range tup.Facts {
+			key := contentKey(f.Relation, f.Tuple)
+			want, ok := ref[key]
+			if !ok {
+				return fmt.Errorf("served fact %s not in the cold reference", key)
+			}
+			if f.ValueRat != want {
+				return fmt.Errorf("served %s = %s, cold reference %s (not big.Rat-identical)", key, f.ValueRat, want)
+			}
+			seen++
+		}
+	}
+	if seen != len(ref) {
+		return fmt.Errorf("served %d facts, cold reference has %d", seen, len(ref))
+	}
+	return nil
+}
+
+// Write serializes the report to path (stdout for "-").
+func Write(path string, rep *Report) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}

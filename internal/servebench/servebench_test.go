@@ -1,0 +1,87 @@
+package servebench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunInProcess exercises the full load generator against an in-process
+// server: all three phases at two concurrency levels, head-to-head
+// populated, pool counters collected, and every quiesced value
+// cross-checked against the cold reference.
+func TestRunInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real HTTP load; skipped in -short mode")
+	}
+	rep, err := Run(context.Background(), Options{
+		Clients:     []int{1, 3},
+		Requests:    4,
+		UpdateEvery: 2,
+		PoolSize:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 phases per level.
+	if len(rep.Levels) != 6 {
+		t.Fatalf("%d levels, want 6: %+v", len(rep.Levels), rep.Levels)
+	}
+	for _, lv := range rep.Levels {
+		if lv.Explains == 0 || lv.ThroughputRPS <= 0 || lv.Latency.P50Ms <= 0 {
+			t.Errorf("degenerate level: %+v", lv)
+		}
+		if lv.Mode == "mixed-pooled" && lv.Updates == 0 {
+			t.Errorf("mixed phase issued no updates: %+v", lv)
+		}
+	}
+	if len(rep.HeadToHead) != 2 {
+		t.Fatalf("%d head-to-head points, want 2", len(rep.HeadToHead))
+	}
+	for _, h := range rep.HeadToHead {
+		if h.PooledP50Ms <= 0 || h.UnpooledP50Ms <= 0 || h.P50Speedup <= 0 {
+			t.Errorf("degenerate head-to-head: %+v", h)
+		}
+	}
+	if rep.ValueChecks != 4 {
+		t.Errorf("value checks = %d, want 4 (2 per level)", rep.ValueChecks)
+	}
+	if rep.Pool.Opens < 1 || rep.Pool.Reuses < 1 {
+		t.Errorf("pool counters: %+v", rep.Pool)
+	}
+	if rep.Pool.UpdateRequests < 1 || rep.Pool.UpdateBatches > rep.Pool.UpdateRequests {
+		t.Errorf("batcher counters: %+v", rep.Pool)
+	}
+	if rep.Cache.Hits+rep.Cache.Misses == 0 {
+		t.Errorf("compile cache untouched: %+v", rep.Cache)
+	}
+
+	// The report round-trips through its JSON artifact form.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := Write(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Levels) != len(rep.Levels) || back.ValueChecks != rep.ValueChecks {
+		t.Errorf("artifact round trip lost data: %+v", back)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Dataset != "flights" || o.Query == "" || len(o.Clients) != 3 || o.Requests != 8 || o.UpdateEvery != 4 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if _, err := Run(context.Background(), Options{Dataset: "tpch"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,374 @@
+// Package server is the explanation service: an HTTP front end over
+// repro.Session for the paper's interactive workload at serving scale. Where
+// cmd/shapley answers one question per process, the server keeps a keyed
+// pool of warm sessions — one per (database, query) — so sustained traffic
+// from many concurrent clients hits the incremental-maintenance and
+// compilation caches end to end, and batches concurrent update requests
+// into single coalesced session applications.
+//
+// The wire API (JSON bodies, see internal/wire):
+//
+//	POST /v1/explain  — explain every output tuple of a query
+//	POST /v1/update   — apply a batch of fact insertions/deletions
+//	GET  /v1/stats    — pool, compilation-cache, and request counters
+//	GET  /healthz     — liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Datasets are the served databases, by the name explain/update
+	// requests address them with.
+	Datasets map[string]*repro.Database
+	// Options configures every session the server opens (pooled or not).
+	Options repro.Options
+	// PoolSize bounds the session pool (≤ 0 = DefaultPoolSize). The least
+	// recently used session is closed when a new (dataset, query) pair
+	// would exceed it.
+	PoolSize int
+	// LatencyWindow sizes the per-route latency sample behind /v1/stats
+	// (≤ 0 = metrics.DefaultLatencyWindow).
+	LatencyWindow int
+}
+
+// Server serves the explanation API over a session pool.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	locks map[string]*sync.RWMutex
+	rec   *metrics.Recorder
+	mux   *http.ServeMux
+}
+
+// New validates the configuration and returns a server ready to serve.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Datasets) == 0 {
+		return nil, errors.New("server: no datasets configured")
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		locks: make(map[string]*sync.RWMutex, len(cfg.Datasets)),
+		rec:   metrics.NewRecorder(cfg.LatencyWindow),
+		mux:   http.NewServeMux(),
+	}
+	for name := range cfg.Datasets {
+		s.locks[name] = new(sync.RWMutex)
+	}
+	s.pool = NewPool(cfg.PoolSize, s.openSession, func(dataset string) *sync.RWMutex {
+		return s.locks[dataset]
+	})
+	s.mux.HandleFunc("/v1/explain", s.instrument("/v1/explain", s.handleExplain))
+	s.mux.HandleFunc("/v1/update", s.instrument("/v1/update", s.handleUpdate))
+	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close flushes the session pool (in-flight requests finish on their
+// sessions, which close on release).
+func (s *Server) Close() { s.pool.Close() }
+
+// PoolStats exposes the pool counters (also served by /v1/stats).
+func (s *Server) PoolStats() wire.PoolStats { return s.pool.Stats() }
+
+func (s *Server) openSession(key Key) (*repro.Session, error) {
+	d := s.cfg.Datasets[key.Dataset]
+	if d == nil {
+		return nil, fmt.Errorf("server: unknown dataset %q", key.Dataset)
+	}
+	q, err := repro.ParseQuery(key.Query)
+	if err != nil {
+		return nil, err
+	}
+	return repro.Open(d, q, s.cfg.Options)
+}
+
+// resolve maps a request's dataset name to its database and lock.
+func (s *Server) resolve(dataset string) (*repro.Database, *sync.RWMutex, error) {
+	d := s.cfg.Datasets[dataset]
+	if d == nil {
+		return nil, nil, fmt.Errorf("server: unknown dataset %q", dataset)
+	}
+	return d, s.locks[dataset], nil
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request recorder feeding /v1/stats.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.rec.Observe(route, rec.status, time.Since(start))
+	}
+}
+
+// maxBodyBytes bounds request bodies; update batches are the largest
+// legitimate payloads and stay far below this.
+const maxBodyBytes = 8 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errStatus maps an error to its HTTP status: the mutation layer's
+// sentinel errors (wrapped by every client-addressable failure, including
+// through repro.MutationError) are 400s, everything else is a 500. Query
+// parse errors and unknown datasets are rejected with explicit 400s at the
+// handlers before any session work starts.
+func errStatus(err error) int {
+	if errors.Is(err, repro.ErrUnknownRelation) ||
+		errors.Is(err, repro.ErrNoFact) ||
+		errors.Is(err, repro.ErrArity) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.ExplainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	d, lock, err := s.resolve(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := repro.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	norm := q.String()
+
+	start := time.Now()
+	var es []repro.TupleExplanation
+	if req.NoPool {
+		// Open-per-request baseline: ground, explain, close — the cost a
+		// client pays without the pool. Holds the dataset read lock like
+		// any other explain.
+		lock.RLock()
+		es, err = repro.Explain(r.Context(), d, q, s.cfg.Options)
+		lock.RUnlock()
+	} else {
+		es, err = s.pool.Explain(r.Context(), Key{Dataset: req.Dataset, Query: norm})
+	}
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+
+	lock.RLock()
+	tuples := wire.EncodeExplanations(d, es, req.Top)
+	lock.RUnlock()
+	writeJSON(w, http.StatusOK, wire.ExplainResponse{
+		Dataset:   req.Dataset,
+		Query:     norm,
+		Pooled:    !req.NoPool,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		Tuples:    tuples,
+	})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.UpdateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	d, lock, err := s.resolve(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Build the mutation batch: inserts in request order, then deletes.
+	// Content-addressed deletes resolve against the current database here;
+	// the resolution is revalidated by Session.Apply/Database.Delete under
+	// the write lock (a concurrent delete of the same fact surfaces as
+	// "no fact with ID").
+	muts := make([]repro.Mutation, 0, len(req.Inserts)+len(req.Deletes))
+	for _, ins := range req.Inserts {
+		vals, err := wire.DecodeValues(ins.Values)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		muts = append(muts, repro.InsertOp(ins.Relation, ins.Endogenous, vals...))
+	}
+	var deleteIDs []int64
+	for _, del := range req.Deletes {
+		id := repro.FactID(del.ID)
+		if del.ID == 0 {
+			lock.RLock()
+			id, err = resolveFact(d, del)
+			lock.RUnlock()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		deleteIDs = append(deleteIDs, int64(id))
+		muts = append(muts, repro.DeleteOp(id))
+	}
+
+	resp := wire.UpdateResponse{DeletedIDs: deleteIDs}
+	var facts []*repro.Fact
+	if req.Query == "" {
+		// No session addressed: apply directly to the database under the
+		// write lock. Pooled sessions over this dataset detect the epoch
+		// change and re-ground on their next use.
+		lock.Lock()
+		facts, err = applyDirect(d, muts)
+		lock.Unlock()
+	} else {
+		q, qerr := repro.ParseQuery(req.Query)
+		if qerr != nil {
+			writeError(w, http.StatusBadRequest, qerr)
+			return
+		}
+		resp.Pooled = true
+		facts, resp.BatchRequests, err = s.pool.Update(Key{Dataset: req.Dataset, Query: q.String()}, muts)
+	}
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	for _, f := range facts {
+		if f != nil {
+			resp.InsertedIDs = append(resp.InsertedIDs, int64(f.ID))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveFact finds the fact a content-addressed DeleteSpec names.
+func resolveFact(d *repro.Database, del wire.DeleteSpec) (repro.FactID, error) {
+	vals, err := wire.DecodeValues(del.Values)
+	if err != nil {
+		return 0, err
+	}
+	want := repro.Tuple(vals)
+	rel := d.Relation(del.Relation)
+	if rel == nil {
+		return 0, fmt.Errorf("server: %w %q", repro.ErrUnknownRelation, del.Relation)
+	}
+	for _, f := range rel.Facts {
+		if f.Tuple.Equal(want) {
+			return f.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("server: %w matching %s%s", repro.ErrNoFact, del.Relation, want)
+}
+
+// applyDirect applies a mutation batch straight to the database (the
+// out-of-band path for updates not addressed to any session).
+func applyDirect(d *repro.Database, muts []repro.Mutation) ([]*repro.Fact, error) {
+	out := make([]*repro.Fact, len(muts))
+	for i, m := range muts {
+		if m.Insert {
+			f, err := d.Insert(m.Relation, m.Endogenous, m.Values...)
+			if err != nil {
+				return out, err
+			}
+			out[i] = f
+		} else if err := d.Delete(m.ID); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	snap := s.rec.Snapshot()
+	routes := make([]wire.RouteStats, len(snap))
+	for i, rs := range snap {
+		routes[i] = wire.RouteStats{
+			Route:      rs.Route,
+			Count:      rs.Count,
+			Errors:     rs.Errors,
+			RatePerSec: rs.RatePerSec,
+			MeanMs:     rs.Latency.MeanMs,
+			P50Ms:      rs.Latency.P50Ms,
+			P95Ms:      rs.Latency.P95Ms,
+			P99Ms:      rs.Latency.P99Ms,
+			MaxMs:      rs.Latency.MaxMs,
+		}
+	}
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		UptimeSec: s.rec.Uptime().Seconds(),
+		Pool:      s.pool.Stats(),
+		Cache:     wire.FromCacheStats(repro.CompileCacheStats()),
+		Routes:    routes,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

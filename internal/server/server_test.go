@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/flights"
+	"repro/internal/wire"
+)
+
+// newTestServer starts an httptest server over a fresh flights database and
+// returns its base URL plus the server and database.
+func newTestServer(t *testing.T, cfg Config) (string, *Server, *repro.Database) {
+	t.Helper()
+	d, _ := flights.Build()
+	if cfg.Datasets == nil {
+		cfg.Datasets = map[string]*repro.Database{"flights": d}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return ts.URL, s, d
+}
+
+func postJSON(t *testing.T, url string, body, into any) (int, string) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// assertServedMatchesCold compares a served explain response to a cold
+// repro.Explain on the mirror database: tuple count, method, ranking order,
+// and big.Rat-identical exact values.
+func assertServedMatchesCold(t *testing.T, resp wire.ExplainResponse, mirror *repro.Database, label string) {
+	t.Helper()
+	cold, err := repro.Explain(context.Background(), mirror, flights.Query(), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tuples) != len(cold) {
+		t.Fatalf("%s: served %d tuples, cold %d", label, len(resp.Tuples), len(cold))
+	}
+	for i := range cold {
+		got, want := resp.Tuples[i], &cold[i]
+		if got.Method != want.Method.String() {
+			t.Fatalf("%s: tuple %d method %q, want %q", label, i, got.Method, want.Method)
+		}
+		if len(got.Facts) != len(want.Ranking) {
+			t.Fatalf("%s: tuple %d has %d facts, want %d", label, i, len(got.Facts), len(want.Ranking))
+		}
+		for j, id := range want.Ranking {
+			f := got.Facts[j]
+			if f.ID != int64(id) {
+				t.Fatalf("%s: tuple %d rank %d is fact #%d, want #%d", label, i, j, f.ID, id)
+			}
+			if wantRat := want.Values[id].RatString(); f.ValueRat != wantRat {
+				t.Fatalf("%s: tuple %d fact #%d = %s, want %s (big.Rat mismatch)",
+					label, i, id, f.ValueRat, wantRat)
+			}
+		}
+	}
+}
+
+// TestServerExplainUpdatePropertyRandomized is the acceptance bar: a
+// randomized interleaving of explains (pooled and open-per-request) and
+// update batches (pooled-session-routed and direct), with every served
+// explanation cross-checked big.Rat-identical against a cold repro.Explain
+// on a mirror database maintained by the same mutation sequence.
+func TestServerExplainUpdatePropertyRandomized(t *testing.T) {
+	url, _, _ := newTestServer(t, Config{PoolSize: 4})
+	mirror, _ := flights.Build()
+	qtext := flights.Query().String()
+	rng := rand.New(rand.NewSource(7))
+
+	usa := []string{"JFK", "EWR", "BOS", "LAX"}
+	fr := []string{"CDG", "ORY"}
+	// live tracks server fact IDs of endogenous flights currently present
+	// (initial a1..a8 plus survivors of our inserts); the sequential driver
+	// keeps mirror IDs identical to server IDs.
+	var live []int64
+	for _, f := range mirror.EndogenousFacts() {
+		live = append(live, int64(f.ID))
+	}
+
+	explains := 0
+	for op := 0; op < 60; op++ {
+		k := rng.Intn(5)
+		if k >= 3 && len(live) == 0 {
+			k = 2 // nothing to delete; insert instead
+		}
+		switch {
+		case k <= 1: // explain (pooled on k==0, open-per-request on k==1)
+			var resp wire.ExplainResponse
+			status, raw := postJSON(t, url+"/v1/explain", wire.ExplainRequest{
+				Dataset: "flights", Query: qtext, NoPool: k == 1,
+			}, &resp)
+			if status != http.StatusOK {
+				t.Fatalf("op %d: explain -> %d: %s", op, status, raw)
+			}
+			assertServedMatchesCold(t, resp, mirror, fmt.Sprintf("op %d (nopool=%v)", op, k == 1))
+			explains++
+		case k == 2: // insert a joining flight
+			src, dst := usa[rng.Intn(len(usa))], fr[rng.Intn(len(fr))]
+			req := wire.UpdateRequest{
+				Dataset: "flights",
+				Inserts: []wire.InsertSpec{{
+					Relation: "Flights", Endogenous: true,
+					Values: []json.RawMessage{
+						json.RawMessage(fmt.Sprintf("%q", src)),
+						json.RawMessage(fmt.Sprintf("%q", dst)),
+					},
+				}},
+			}
+			pooled := rng.Intn(2) == 0
+			if pooled {
+				req.Query = qtext
+			}
+			var resp wire.UpdateResponse
+			status, raw := postJSON(t, url+"/v1/update", req, &resp)
+			if status != http.StatusOK {
+				t.Fatalf("op %d: insert -> %d: %s", op, status, raw)
+			}
+			if resp.Pooled != pooled {
+				t.Fatalf("op %d: pooled = %v, want %v", op, resp.Pooled, pooled)
+			}
+			f := mirror.MustInsert("Flights", true, repro.String(src), repro.String(dst))
+			if len(resp.InsertedIDs) != 1 || resp.InsertedIDs[0] != int64(f.ID) {
+				t.Fatalf("op %d: inserted IDs %v, mirror assigned %d — ID streams diverged",
+					op, resp.InsertedIDs, f.ID)
+			}
+			live = append(live, int64(f.ID))
+		default: // delete a random live endogenous flight
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			req := wire.UpdateRequest{
+				Dataset: "flights",
+				Deletes: []wire.DeleteSpec{{ID: id}},
+			}
+			if rng.Intn(2) == 0 {
+				req.Query = qtext
+			}
+			var resp wire.UpdateResponse
+			status, raw := postJSON(t, url+"/v1/update", req, &resp)
+			if status != http.StatusOK {
+				t.Fatalf("op %d: delete #%d -> %d: %s", op, id, status, raw)
+			}
+			if err := mirror.Delete(repro.FactID(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if explains == 0 {
+		t.Fatal("randomized schedule exercised no explains")
+	}
+
+	// Final quiesced cross-check through both paths.
+	for _, noPool := range []bool{false, true} {
+		var resp wire.ExplainResponse
+		status, raw := postJSON(t, url+"/v1/explain", wire.ExplainRequest{
+			Dataset: "flights", Query: qtext, NoPool: noPool,
+		}, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("final explain -> %d: %s", status, raw)
+		}
+		assertServedMatchesCold(t, resp, mirror, fmt.Sprintf("final (nopool=%v)", noPool))
+	}
+}
+
+// TestServerConcurrentClients hammers the service with concurrent explain
+// and net-zero update traffic; everything must come back 2xx and the
+// quiesced state must match the paper's flights ground truth.
+func TestServerConcurrentClients(t *testing.T) {
+	url, srv, _ := newTestServer(t, Config{PoolSize: 4})
+	qtext := flights.Query().String()
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := []string{"JFK", "EWR", "BOS", "LAX"}[c%4]
+			for r := 0; r < 4; r++ {
+				if c%2 == 0 {
+					// Update client: insert then delete its own fact
+					// through the pooled batcher.
+					var ins wire.UpdateResponse
+					blob, _ := json.Marshal(wire.UpdateRequest{
+						Dataset: "flights", Query: qtext,
+						Inserts: []wire.InsertSpec{{
+							Relation: "Flights", Endogenous: true,
+							Values: []json.RawMessage{
+								json.RawMessage(fmt.Sprintf("%q", src)),
+								json.RawMessage(`"ORY"`),
+							},
+						}},
+					})
+					resp, err := http.Post(url+"/v1/update", "application/json", bytes.NewReader(blob))
+					if err != nil {
+						errs <- err
+						return
+					}
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("insert -> %d: %s", resp.StatusCode, raw)
+						return
+					}
+					if err := json.Unmarshal(raw, &ins); err != nil {
+						errs <- err
+						return
+					}
+					blob, _ = json.Marshal(wire.UpdateRequest{
+						Dataset: "flights", Query: qtext,
+						Deletes: []wire.DeleteSpec{{ID: ins.InsertedIDs[0]}},
+					})
+					resp, err = http.Post(url+"/v1/update", "application/json", bytes.NewReader(blob))
+					if err != nil {
+						errs <- err
+						return
+					}
+					raw, _ = io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("delete -> %d: %s", resp.StatusCode, raw)
+						return
+					}
+				} else {
+					blob, _ := json.Marshal(wire.ExplainRequest{
+						Dataset: "flights", Query: qtext, NoPool: r%2 == 1,
+					})
+					resp, err := http.Post(url+"/v1/explain", "application/json", bytes.NewReader(blob))
+					if err != nil {
+						errs <- err
+						return
+					}
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("explain -> %d: %s", resp.StatusCode, raw)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: the traffic was net-zero, so the state matches a fresh
+	// flights database.
+	fresh, _ := flights.Build()
+	var resp wire.ExplainResponse
+	status, raw := postJSON(t, url+"/v1/explain", wire.ExplainRequest{Dataset: "flights", Query: qtext}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("final explain -> %d: %s", status, raw)
+	}
+	assertServedMatchesCold(t, resp, fresh, "quiesced")
+
+	st := srv.PoolStats()
+	if st.UpdateBatches > st.UpdateRequests {
+		t.Errorf("update batches %d > requests %d", st.UpdateBatches, st.UpdateRequests)
+	}
+	if st.Opens < 1 || st.Reuses < 1 {
+		t.Errorf("pool counters show no reuse: %+v", st)
+	}
+}
+
+// TestServerHTTPBasics covers the protocol edges: health, stats, content
+// deletes, top truncation, and the 4xx surface.
+func TestServerHTTPBasics(t *testing.T) {
+	url, _, _ := newTestServer(t, Config{PoolSize: 2})
+	qtext := flights.Query().String()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Top truncation.
+	var er wire.ExplainResponse
+	status, raw := postJSON(t, url+"/v1/explain", wire.ExplainRequest{Dataset: "flights", Query: qtext, Top: 2}, &er)
+	if status != http.StatusOK || len(er.Tuples) != 1 || len(er.Tuples[0].Facts) != 2 {
+		t.Fatalf("top=2 explain: %d %s", status, raw)
+	}
+	if er.Tuples[0].Facts[0].ValueRat != "43/105" {
+		t.Errorf("top fact = %s, want 43/105", er.Tuples[0].Facts[0].ValueRat)
+	}
+
+	// Content-addressed delete + reinsert round trip.
+	var ur wire.UpdateResponse
+	status, raw = postJSON(t, url+"/v1/update", wire.UpdateRequest{
+		Dataset: "flights", Query: qtext,
+		Deletes: []wire.DeleteSpec{{Relation: "Flights", Values: []json.RawMessage{
+			json.RawMessage(`"JFK"`), json.RawMessage(`"CDG"`),
+		}}},
+	}, &ur)
+	if status != http.StatusOK || len(ur.DeletedIDs) != 1 {
+		t.Fatalf("content delete: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, url+"/v1/update", wire.UpdateRequest{
+		Dataset: "flights", Query: qtext,
+		Inserts: []wire.InsertSpec{{Relation: "Flights", Endogenous: true, Values: []json.RawMessage{
+			json.RawMessage(`"JFK"`), json.RawMessage(`"CDG"`),
+		}}},
+	}, &ur)
+	if status != http.StatusOK {
+		t.Fatalf("reinsert: %d %s", status, raw)
+	}
+	fresh, _ := flights.Build()
+	status, _ = postJSON(t, url+"/v1/explain", wire.ExplainRequest{Dataset: "flights", Query: qtext}, &er)
+	if status != http.StatusOK {
+		t.Fatal("explain after delete/reinsert failed")
+	}
+	// Values match ground truth by content even though the reinserted fact
+	// has a fresh ID.
+	cold, err := repro.Explain(context.Background(), fresh, flights.Query(), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop := cold[0].Values[repro.FactID(1)].RatString()
+	if er.Tuples[0].Facts[0].ValueRat != wantTop ||
+		er.Tuples[0].Facts[0].Relation != "Flights" ||
+		er.Tuples[0].Facts[0].Tuple[0] != "JFK" {
+		t.Errorf("after reinsert, top fact = %+v, want JFK->CDG at %s", er.Tuples[0].Facts[0], wantTop)
+	}
+
+	// Stats surface.
+	resp, err = http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st wire.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Pool.Opens < 1 || st.Pool.UpdateRequests != 2 {
+		t.Errorf("stats pool: %+v", st.Pool)
+	}
+	if len(st.Routes) == 0 {
+		t.Error("stats has no route counters")
+	}
+	if st.Cache.Hits+st.Cache.Misses == 0 {
+		t.Error("stats shows an untouched compile cache after explains")
+	}
+
+	// 4xx surface.
+	for _, c := range []struct {
+		path string
+		body any
+		want int
+	}{
+		{"/v1/explain", wire.ExplainRequest{Dataset: "nope", Query: qtext}, http.StatusBadRequest},
+		{"/v1/explain", wire.ExplainRequest{Dataset: "flights", Query: "not a query"}, http.StatusBadRequest},
+		{"/v1/update", wire.UpdateRequest{Dataset: "flights", Query: qtext, Deletes: []wire.DeleteSpec{{ID: 99999}}}, http.StatusBadRequest},
+		{"/v1/update", wire.UpdateRequest{Dataset: "flights", Inserts: []wire.InsertSpec{{Relation: "NoRel", Values: []json.RawMessage{json.RawMessage(`1`)}}}}, http.StatusBadRequest},
+	} {
+		status, raw := postJSON(t, url+c.path, c.body, nil)
+		if status != c.want {
+			t.Errorf("%s %+v -> %d (%s), want %d", c.path, c.body, status, raw, c.want)
+		}
+	}
+	resp, err = http.Get(url + "/v1/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/explain -> %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerConfigValidation: bad configurations fail at New.
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no datasets succeeded")
+	}
+	d, _ := flights.Build()
+	if _, err := New(Config{
+		Datasets: map[string]*repro.Database{"flights": d},
+		Options:  repro.Options{Workers: -1},
+	}); err == nil {
+		t.Error("New with invalid options succeeded")
+	}
+}

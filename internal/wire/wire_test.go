@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro"
+	"repro/internal/db"
+	"repro/internal/flights"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want repro.Value
+	}{
+		{`"LHR"`, repro.String("LHR")},
+		{`42`, repro.Int(42)},
+		{`-7`, repro.Int(-7)},
+		{`2.5`, repro.Float(2.5)},
+		{`1e3`, repro.Float(1000)},
+	}
+	for _, c := range cases {
+		got, err := DecodeValue(json.RawMessage(c.raw))
+		if err != nil {
+			t.Fatalf("DecodeValue(%s): %v", c.raw, err)
+		}
+		if got.Kind() != c.want.Kind() || !got.Equal(c.want) {
+			t.Errorf("DecodeValue(%s) = %v (%v), want %v (%v)",
+				c.raw, got, got.Kind(), c.want, c.want.Kind())
+		}
+		enc, err := json.Marshal(EncodeValue(got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("re-decode %s: %v", enc, err)
+		}
+		if back.Kind() != c.want.Kind() || !back.Equal(c.want) {
+			t.Errorf("round trip of %s lost the value: got %v (%v)", c.raw, back, back.Kind())
+		}
+	}
+	for _, bad := range []string{`true`, `null`, `[1]`, `{"a":1}`} {
+		if _, err := DecodeValue(json.RawMessage(bad)); err == nil {
+			t.Errorf("DecodeValue(%s) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestEncodeExplanationsFlights pins the wire encoding on the paper's
+// running example: exact rationals in ValueRat, fact content resolved from
+// the database, ranking truncation by top.
+func TestEncodeExplanationsFlights(t *testing.T) {
+	d, facts := flights.Build()
+	es, err := repro.Explain(context.Background(), d, flights.Query(), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeExplanations(d, es, 0)
+	if len(enc) != 1 {
+		t.Fatalf("%d tuples, want 1", len(enc))
+	}
+	e := enc[0]
+	if e.Method != "exact" {
+		t.Fatalf("method %q, want exact", e.Method)
+	}
+	if e.NumFacts != 7 || len(e.Facts) != 7 {
+		t.Fatalf("num_facts=%d, |facts|=%d, want 7/7 (a8 is a null player outside the lineage)", e.NumFacts, len(e.Facts))
+	}
+	if e.Facts[0].ID != int64(facts.A[1].ID) || e.Facts[0].ValueRat != "43/105" {
+		t.Errorf("top fact = #%d %s, want #%d 43/105", e.Facts[0].ID, e.Facts[0].ValueRat, facts.A[1].ID)
+	}
+	if e.Facts[0].Relation != "Flights" {
+		t.Errorf("top fact relation %q, want Flights", e.Facts[0].Relation)
+	}
+	wantTuple := []any{"JFK", "CDG"}
+	if len(e.Facts[0].Tuple) != 2 || e.Facts[0].Tuple[0] != wantTuple[0] || e.Facts[0].Tuple[1] != wantTuple[1] {
+		t.Errorf("top fact tuple %v, want %v", e.Facts[0].Tuple, wantTuple)
+	}
+
+	top2 := EncodeExplanations(d, es, 2)
+	if len(top2[0].Facts) != 2 {
+		t.Errorf("top=2 kept %d facts, want 2", len(top2[0].Facts))
+	}
+	if top2[0].NumFacts != 7 {
+		t.Errorf("top=2 reported num_facts=%d, want 7 (truncation is presentational)", top2[0].NumFacts)
+	}
+
+	// The encoding must survive JSON marshalling with exact rationals
+	// intact (strings, not floats).
+	blob, err := json.Marshal(ExplainResponse{Query: flights.Query().String(), Tuples: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExplainResponse
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tuples[0].Facts[0].ValueRat != "43/105" {
+		t.Errorf("ValueRat after JSON round trip: %q", back.Tuples[0].Facts[0].ValueRat)
+	}
+}
+
+func TestEncodeTupleKinds(t *testing.T) {
+	tup := repro.Tuple{db.Int(3), db.Float(1.5), db.Float(2), db.String("x")}
+	got := EncodeTuple(tup)
+	if got[0] != int64(3) || got[1] != json.Number("1.5") || got[2] != json.Number("2.0") || got[3] != "x" {
+		t.Errorf("EncodeTuple = %#v", got)
+	}
+}

@@ -72,6 +72,16 @@ var (
 	String = db.String
 )
 
+// Sentinel errors for client-addressable failure modes, re-exported:
+// every mutation-path error wraps one of these (errors.Is), so callers —
+// the HTTP service's status mapping, for one — classify failures without
+// matching message text.
+var (
+	ErrUnknownRelation = db.ErrUnknownRelation
+	ErrNoFact          = db.ErrNoFact
+	ErrArity           = db.ErrArity
+)
+
 // NewDatabase returns an empty database.
 func NewDatabase() *Database { return db.New() }
 
@@ -242,6 +252,20 @@ func compileCache(size int) *dnnf.CompileCache {
 		sharedCache.Grow(size)
 	}
 	return sharedCache
+}
+
+// CompileCacheStats returns a snapshot of the process-wide compiled-circuit
+// cache counters — the cache every session with CacheSize ≥ 0 shares — or a
+// zero snapshot if no session or Explain call has created it yet. The
+// explanation service surfaces this at GET /v1/stats next to its
+// session-pool counters.
+func CompileCacheStats() dnnf.CacheStats {
+	sharedCacheMu.Lock()
+	defer sharedCacheMu.Unlock()
+	if sharedCache == nil {
+		return dnnf.CacheStats{}
+	}
+	return sharedCache.Stats()
 }
 
 // Explain evaluates the query over the database and explains every output

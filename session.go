@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/db"
 	"repro/internal/dnnf"
 	"repro/internal/engine"
 	"repro/internal/parallel"
@@ -45,10 +46,25 @@ var ErrSessionClosed = errors.New("repro: session is closed")
 // database ahead (someone called Database.Insert/Delete directly), falls
 // back to re-grounding from scratch — correct, just not incremental.
 //
-// A Session is safe for concurrent use; methods serialize on an internal
-// lock (the per-tuple explanation work inside one Explain call still fans
-// out across Options.Workers goroutines). Returned explanations share
-// cached Shapley value maps across calls and must be treated as read-only.
+// # Concurrency contract
+//
+// A Session is safe for concurrent use: Explain, Insert, Delete, Apply,
+// NumAnswers, Stats, CacheStats, and Close may all be called from multiple
+// goroutines at once. Methods serialize on an internal lock — at most one
+// of them mutates or reads session state at a time — while the per-tuple
+// explanation work inside one Explain call still fans out across
+// Options.Workers goroutines. Concurrent calls are applied in some
+// serialization order, and every call observes a state reachable by a
+// serial execution of the same calls; results are big.Rat-identical to
+// that serial execution (see TestSessionConcurrentHammerMatchesSerial).
+// Returned explanations share cached Shapley value maps across calls and
+// must be treated as read-only.
+//
+// The contract covers one session's methods. The underlying Database is
+// NOT itself synchronized: callers that share one Database across several
+// sessions (or mutate it out-of-band) must serialize database writes
+// against all sessions' reads themselves — internal/server does this with
+// a per-database reader/writer lock.
 type Session struct {
 	mu     sync.Mutex
 	d      *Database
@@ -60,6 +76,12 @@ type Session struct {
 	epoch  uint64 // db.Epoch() the session state reflects
 	tuples map[string]*sessionTuple
 	closed bool
+
+	// Lifetime counters behind Stats (guarded by mu).
+	grounds  int64
+	inserts  int64
+	deletes  int64
+	explains int64
 }
 
 // sessionTuple carries one output tuple's cached pipeline state across
@@ -103,6 +125,7 @@ func (s *Session) ground() error {
 	s.inc = inc
 	s.tuples = make(map[string]*sessionTuple)
 	s.epoch = s.d.Epoch()
+	s.grounds++
 	return nil
 }
 
@@ -115,11 +138,62 @@ func (s *Session) sync() error {
 	return s.ground()
 }
 
-// Insert adds a fact to the database (see Database.Insert) and
-// delta-maintains the session's answers: only join bindings involving the
-// new fact are evaluated, and only the output tuples whose lineage gained a
-// derivation are re-explained by the next Explain call.
-func (s *Session) Insert(relation string, endogenous bool, values ...Value) (*Fact, error) {
+// Mutation describes one fact-level update for Apply: an insertion
+// (Insert == true; Relation, Endogenous, and Values describe the new fact)
+// or a deletion (Insert == false; ID names the fact to remove). Build them
+// with InsertOp and DeleteOp.
+type Mutation struct {
+	Insert     bool
+	Relation   string
+	Endogenous bool
+	Values     []Value
+	ID         FactID
+}
+
+// MutationError is the error Apply returns for a failing mutation: it
+// carries the index of the offender so batching layers (the service's
+// update coalescer) can attribute the failure to the request that owns the
+// mutation instead of failing every coalesced neighbor. It unwraps to the
+// underlying cause, so errors.Is classification (db.ErrUnknownRelation,
+// db.ErrNoFact, db.ErrArity) sees through it.
+type MutationError struct {
+	// Index is the failing mutation's position in the Apply batch; every
+	// mutation before it was applied, none after it was.
+	Index int
+	Err   error
+}
+
+func (e *MutationError) Error() string {
+	return fmt.Sprintf("repro: mutation %d: %v", e.Index, e.Err)
+}
+
+func (e *MutationError) Unwrap() error { return e.Err }
+
+// InsertOp returns the Mutation inserting a new fact, mirroring
+// Database.Insert's parameters.
+func InsertOp(relation string, endogenous bool, values ...Value) Mutation {
+	return Mutation{Insert: true, Relation: relation, Endogenous: endogenous, Values: values}
+}
+
+// DeleteOp returns the Mutation deleting the fact with the given ID.
+func DeleteOp(id FactID) Mutation {
+	return Mutation{ID: id}
+}
+
+// Apply applies the mutations in order under a single lock acquisition and
+// delta-maintains the session's answers for all of them, with one batched
+// compilation-cache invalidation covering every deleted endogenous fact.
+// It is the bulk form of Insert and Delete: a service coalescing many
+// concurrent update requests into one application (see internal/server)
+// pays the session synchronization and cache-invalidation cost once per
+// batch instead of once per mutation.
+//
+// The returned slice is aligned with muts: the inserted *Fact for
+// insertions, nil for deletions. Apply is not transactional — it stops at
+// the first failing mutation and returns its error as a *MutationError
+// naming the offender's index, with every earlier mutation applied and the
+// session still consistent with the database.
+func (s *Session) Apply(muts []Mutation) ([]*Fact, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -128,15 +202,55 @@ func (s *Session) Insert(relation string, endogenous bool, values ...Value) (*Fa
 	if err := s.sync(); err != nil {
 		return nil, err
 	}
-	f, err := s.d.Insert(relation, endogenous, values...)
+	out := make([]*Fact, len(muts))
+	var invalidate []int
+	defer func() {
+		if len(invalidate) > 0 && s.cache != nil {
+			s.cache.Invalidate(s.d.ID(), invalidate...)
+		}
+	}()
+	for i, m := range muts {
+		if m.Insert {
+			f, err := s.d.Insert(m.Relation, m.Endogenous, m.Values...)
+			if err != nil {
+				return out, &MutationError{Index: i, Err: err}
+			}
+			if _, err := s.inc.Insert(f); err != nil {
+				// The database advanced but the session did not: leave the
+				// epochs mismatched so the next call re-grounds.
+				return out, &MutationError{Index: i, Err: err}
+			}
+			out[i] = f
+			s.inserts++
+		} else {
+			f := s.d.Fact(m.ID)
+			if f == nil {
+				return out, &MutationError{Index: i, Err: fmt.Errorf("db: %w with ID %d", db.ErrNoFact, m.ID)}
+			}
+			if err := s.d.Delete(m.ID); err != nil {
+				return out, &MutationError{Index: i, Err: err}
+			}
+			s.inc.Delete(m.ID)
+			if f.Endogenous {
+				invalidate = append(invalidate, int(m.ID))
+			}
+			s.deletes++
+		}
+		s.epoch = s.d.Epoch()
+	}
+	return out, nil
+}
+
+// Insert adds a fact to the database (see Database.Insert) and
+// delta-maintains the session's answers: only join bindings involving the
+// new fact are evaluated, and only the output tuples whose lineage gained a
+// derivation are re-explained by the next Explain call.
+func (s *Session) Insert(relation string, endogenous bool, values ...Value) (*Fact, error) {
+	fs, err := s.Apply([]Mutation{InsertOp(relation, endogenous, values...)})
 	if err != nil {
-		return nil, err
+		return nil, unwrapSingle(err)
 	}
-	if _, err := s.inc.Insert(f); err != nil {
-		return nil, err
-	}
-	s.epoch = s.d.Epoch()
-	return f, nil
+	return fs[0], nil
 }
 
 // Delete removes the fact with the given ID from the database (see
@@ -147,27 +261,18 @@ func (s *Session) Insert(relation string, endogenous bool, values ...Value) (*Fa
 // other facts — including renamed-isomorphic cache entries serving other
 // tuples — survive.
 func (s *Session) Delete(id FactID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrSessionClosed
+	_, err := s.Apply([]Mutation{DeleteOp(id)})
+	return unwrapSingle(err)
+}
+
+// unwrapSingle strips the MutationError wrapper for the one-mutation
+// convenience methods, where "mutation 0" adds nothing.
+func unwrapSingle(err error) error {
+	var me *MutationError
+	if errors.As(err, &me) {
+		return me.Err
 	}
-	if err := s.sync(); err != nil {
-		return err
-	}
-	f := s.d.Fact(id)
-	if f == nil {
-		return fmt.Errorf("db: no fact with ID %d", id)
-	}
-	if err := s.d.Delete(id); err != nil {
-		return err
-	}
-	s.inc.Delete(id)
-	if f.Endogenous && s.cache != nil {
-		s.cache.Invalidate(s.d.ID(), int(id))
-	}
-	s.epoch = s.d.Epoch()
-	return nil
+	return err
 }
 
 // Explain returns the explanation of every current output tuple, exactly as
@@ -260,6 +365,7 @@ func (s *Session) Explain(ctx context.Context) ([]TupleExplanation, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.explains++
 	return out, nil
 }
 
@@ -275,6 +381,54 @@ func (s *Session) NumAnswers() (int, error) {
 		return 0, err
 	}
 	return s.inc.Len(), nil
+}
+
+// SessionStats is a point-in-time snapshot of one session's state and
+// lifetime counters, sized for pool bookkeeping: everything here is read
+// from the session's own fields, so Stats never touches the underlying
+// database (and thus never races with another session's writes to it) and
+// never triggers re-grounding.
+type SessionStats struct {
+	// Answers is the number of live output tuples at the last
+	// synchronization point.
+	Answers int
+	// CachedExplanations is how many of them have a finished explanation
+	// cached at their current lineage epoch (a subsequent Explain serves
+	// these verbatim).
+	CachedExplanations int
+	// Epoch is the database mutation epoch the session is synchronized to.
+	Epoch uint64
+	// Grounds counts full (re)groundings: 1 for a fresh session, +1 for
+	// every out-of-band database mutation detected.
+	Grounds int64
+	// Inserts and Deletes count mutations absorbed incrementally through
+	// the session.
+	Inserts, Deletes int64
+	// Explains counts completed Explain calls.
+	Explains int64
+}
+
+// Stats returns the session's current statistics snapshot.
+func (s *Session) Stats() (SessionStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SessionStats{}, ErrSessionClosed
+	}
+	st := SessionStats{
+		Answers:  s.inc.Len(),
+		Epoch:    s.epoch,
+		Grounds:  s.grounds,
+		Inserts:  s.inserts,
+		Deletes:  s.deletes,
+		Explains: s.explains,
+	}
+	for _, t := range s.tuples {
+		if t.expl != nil {
+			st.CachedExplanations++
+		}
+	}
+	return st, nil
 }
 
 // CacheStats returns a snapshot of the compilation cache counters the
