@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +51,9 @@ func main() {
 		cache    = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, -1 = disabled)")
 		nocanon  = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of canonically")
 		strat    = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
+		store    = flag.String("store", "", "storage backend for served datasets: memory (default) or sorted")
+		storeDir = flag.String("store-dir", "", "with -store sorted: persist each dataset under <dir>/<name> (reloaded on restart)")
+		indexes  = flag.Int("indexes", 0, "per-relation secondary-index budget (0 = backend default)")
 	)
 	flag.Parse()
 
@@ -68,26 +72,65 @@ func main() {
 			CacheSize:        *cache,
 			NoCanonicalCache: *nocanon,
 			Strategy:         strategy,
+			Storage:          *store,
+			IndexBudget:      *indexes,
 		},
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		log.Fatalf("shapleyd: %v", err)
+	}
+	if *storeDir != "" && *store != repro.BackendSorted {
+		log.Fatalf("shapleyd: -store-dir requires -store %s", repro.BackendSorted)
 	}
 	for _, name := range strings.Split(*datasets, ",") {
 		name = strings.TrimSpace(name)
 		start := time.Now()
+		var d *repro.Database
 		switch name {
 		case "flights":
-			d, _ := flights.Build()
-			cfg.Datasets[name] = d
+			d, _ = flights.Build()
 		case "tpch":
-			cfg.Datasets[name] = tpch.Generate(tpch.DefaultConfig().Scaled(*scale))
+			d = tpch.Generate(tpch.DefaultConfig().Scaled(*scale))
 		case "imdb":
-			cfg.Datasets[name] = imdb.Generate(imdb.DefaultConfig().Scaled(*scale))
+			d = imdb.Generate(imdb.DefaultConfig().Scaled(*scale))
 		case "":
 			continue
 		default:
 			log.Fatalf("shapleyd: unknown dataset %q (want flights, tpch, or imdb)", name)
 		}
-		log.Printf("loaded dataset %s (%d facts) in %v",
-			name, cfg.Datasets[name].NumFacts(), time.Since(start).Round(time.Millisecond))
+		// Generators build on the default backend; move the dataset onto
+		// the requested store (fact IDs survive the migration, so nothing
+		// downstream notices). A directory already holding a persisted copy
+		// — including updates served by previous runs — is reloaded instead
+		// of being overwritten by the freshly generated dataset.
+		if *store != "" && *store != repro.BackendMemory {
+			dir := ""
+			if *storeDir != "" {
+				dir = filepath.Join(*storeDir, name)
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					log.Fatalf("shapleyd: %v", err)
+				}
+			}
+			if dir != "" && repro.DatabasePersisted(dir) {
+				pd, err := repro.OpenDatabase(dir)
+				if err != nil {
+					log.Fatalf("shapleyd: reloading %s from %s: %v", name, dir, err)
+				}
+				d = pd
+			} else {
+				md, err := d.Migrate(*store, dir)
+				if err != nil {
+					log.Fatalf("shapleyd: migrating %s to %s: %v", name, *store, err)
+				}
+				d = md
+			}
+		}
+		if *indexes > 0 {
+			d.SetIndexBudget(*indexes)
+		}
+		cfg.Datasets[name] = d
+		log.Printf("loaded dataset %s (%d facts, %s backend) in %v",
+			name, d.NumFacts(), d.Backend(), time.Since(start).Round(time.Millisecond))
 	}
 
 	s, err := server.New(cfg)
@@ -116,5 +159,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shapleyd: shutdown: %v\n", err)
 	}
 	s.Close()
+	// Closing the databases flushes persistent mutation logs to disk.
+	for name, d := range cfg.Datasets {
+		if err := d.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "shapleyd: closing %s: %v\n", name, err)
+		}
+	}
 	log.Printf("bye")
 }

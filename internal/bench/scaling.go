@@ -28,7 +28,7 @@ func RunScaling(ctx context.Context, base tpch.Config, scales []float64, queryNa
 	for _, scale := range scales {
 		cfg := base.Scaled(scale)
 		d := tpch.Generate(cfg)
-		lineitems := len(d.Relation("lineitem").Facts)
+		lineitems := len(d.Relation("lineitem").Facts())
 		endo := make([]db.FactID, 0, d.NumEndogenous())
 		for _, f := range d.EndogenousFacts() {
 			endo = append(endo, f.ID)

@@ -1,0 +1,255 @@
+package db
+
+import "strings"
+
+// btree is a minimal in-memory B-tree over string keys (the sort-preserving
+// Key encodings, suffixed with fact IDs so every entry is unique) mapping
+// to facts. It backs the sorted store's primary and secondary indexes: the
+// only operations the evaluation layer needs are insert, delete, and an
+// ascending scan from a lower bound, which serves equality lookups as
+// prefix range scans.
+type btree struct {
+	root *btreeNode
+	size int
+}
+
+// btreeMinItems is the B-tree minimum degree minus one: every non-root node
+// holds between btreeMinItems and 2*btreeMinItems+1 items. 31 keeps nodes
+// around two cache lines of string headers.
+const btreeMinItems = 31
+
+type btreeItem struct {
+	key  string
+	fact *Fact
+}
+
+type btreeNode struct {
+	items    []btreeItem
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// find returns the index of the first item with key >= k and whether the
+// item at that index equals k.
+func (n *btreeNode) find(k string) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.items[mid].key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.items) && n.items[lo].key == k
+}
+
+func (t *btree) len() int { return t.size }
+
+// insert adds the entry; keys are unique by construction (fact-ID suffix),
+// so an existing key is replaced without growing the tree.
+func (t *btree) insert(k string, f *Fact) {
+	if t.root == nil {
+		t.root = &btreeNode{items: []btreeItem{{k, f}}}
+		t.size = 1
+		return
+	}
+	if len(t.root.items) >= 2*btreeMinItems+1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insertNonFull(k, f) {
+		t.size++
+	}
+}
+
+// splitChild splits the full child at index i, hoisting its median item.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.items) / 2
+	median := child.items[mid]
+	right := &btreeNode{items: append([]btreeItem(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+	n.items = append(n.items, btreeItem{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known to have room; it reports whether
+// the tree grew (false on key replacement).
+func (n *btreeNode) insertNonFull(k string, f *Fact) bool {
+	i, found := n.find(k)
+	if found {
+		n.items[i].fact = f
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, btreeItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = btreeItem{k, f}
+		return true
+	}
+	if len(n.children[i].items) >= 2*btreeMinItems+1 {
+		n.splitChild(i)
+		if k > n.items[i].key {
+			i++
+		} else if k == n.items[i].key {
+			n.items[i].fact = f
+			return false
+		}
+	}
+	return n.children[i].insertNonFull(k, f)
+}
+
+// delete removes the key if present and reports whether it was found.
+func (t *btree) delete(k string) bool {
+	if t.root == nil {
+		return false
+	}
+	ok := t.root.delete(k)
+	if len(t.root.items) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	if ok {
+		t.size--
+	}
+	return ok
+}
+
+func (n *btreeNode) delete(k string) bool {
+	i, found := n.find(k)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with the predecessor (max of left subtree), then delete
+		// that key from the child, refilling it first if needed.
+		n.ensureChild(i)
+		// ensureChild may have moved the key; re-locate it.
+		i, found = n.find(k)
+		if !found {
+			return n.children[i].delete(k)
+		}
+		pred := n.children[i].max()
+		n.items[i] = pred
+		return n.children[i].delete(pred.key)
+	}
+	n.ensureChild(i)
+	i, found = n.find(k)
+	if found {
+		pred := n.children[i].max()
+		n.items[i] = pred
+		return n.children[i].delete(pred.key)
+	}
+	return n.children[i].delete(k)
+}
+
+func (n *btreeNode) max() btreeItem {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// ensureChild guarantees children[i] holds more than the minimum item count
+// before descending, borrowing from a sibling or merging when it does not.
+func (n *btreeNode) ensureChild(i int) {
+	if len(n.children[i].items) > btreeMinItems {
+		return
+	}
+	switch {
+	case i > 0 && len(n.children[i-1].items) > btreeMinItems:
+		// Borrow from the left sibling through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, btreeItem{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !child.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+	case i < len(n.children)-1 && len(n.children[i+1].items) > btreeMinItems:
+		// Borrow from the right sibling through the separator.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !child.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+	case i > 0:
+		n.mergeChildren(i - 1)
+	default:
+		n.mergeChildren(i)
+	}
+}
+
+// mergeChildren folds children[i+1] and the separator item into children[i].
+func (n *btreeNode) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// ascend yields entries with key >= from in ascending key order until yield
+// returns false.
+func (t *btree) ascend(from string, yield func(btreeItem) bool) {
+	if t.root != nil {
+		t.root.ascend(from, yield)
+	}
+}
+
+func (n *btreeNode) ascend(from string, yield func(btreeItem) bool) bool {
+	i, _ := n.find(from)
+	for ; i < len(n.items); i++ {
+		if !n.leaf() && !n.children[i].ascend(from, yield) {
+			return false
+		}
+		if !yield(n.items[i]) {
+			return false
+		}
+		// Every later subtree is entirely >= from.
+		from = ""
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(from, yield)
+	}
+	return true
+}
+
+// ascendPrefix yields entries whose key starts with prefix, in key order.
+func (t *btree) ascendPrefix(prefix string, yield func(btreeItem) bool) {
+	t.ascend(prefix, func(it btreeItem) bool {
+		if !strings.HasPrefix(it.key, prefix) {
+			return false
+		}
+		return yield(it)
+	})
+}

@@ -1,6 +1,7 @@
 // Package db defines the relational data model used throughout the
 // repository: typed values, tuples, schemas, facts with an
-// endogenous/exogenous annotation, and in-memory databases.
+// endogenous/exogenous annotation, and databases over a pluggable storage
+// engine (in-memory by default; see Store).
 //
 // The model follows Section 2 of the paper: a database is a finite set of
 // facts R(a1,...,ak), partitioned into exogenous facts (taken for granted)
@@ -12,6 +13,7 @@ package db
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -227,10 +229,12 @@ func (f Fact) String() string {
 	return fmt.Sprintf("%s%s [#%d %s]", f.Relation, f.Tuple, f.ID, tag)
 }
 
-// Relation is a list of facts sharing a schema.
+// Relation is a set of facts sharing a schema. Fact storage lives in the
+// database's Store; the Relation is the evaluation layer's handle to scan
+// it, probe its indexes, and watch its mutation epoch.
 type Relation struct {
 	Schema Schema
-	Facts  []*Fact
+	store  Store
 	// epoch counts the mutations (inserts and deletes) this relation has
 	// seen. Caches keyed on relation contents compare epochs instead of
 	// diffing fact sets.
@@ -242,10 +246,39 @@ type Relation struct {
 // epochs guarantee the relation's fact set has not changed.
 func (r *Relation) Epoch() uint64 { return r.epoch }
 
-// Database is an in-memory relational database: a set of relations whose
-// facts carry unique IDs and endogenous/exogenous annotations.
+// Len returns the relation's fact count.
+func (r *Relation) Len() int { return r.store.Len(r.Schema.Name) }
+
+// Facts materializes the relation's facts as a slice, in the backend's
+// native order (insertion order for the memory backend, key order for the
+// sorted backend). Hot paths should prefer Scan or Lookup; Facts exists for
+// tests, reports, and snapshot-style consumers.
+func (r *Relation) Facts() []*Fact {
+	out := make([]*Fact, 0, r.Len())
+	for f := range r.Scan() {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Scan yields every fact of the relation in the backend's native order.
+func (r *Relation) Scan() iter.Seq[*Fact] { return r.store.Scan(r.Schema.Name) }
+
+// Lookup yields the facts whose tuple matches key at the given positions
+// (pos ascending, key the TupleKey encoding of the sought values). The
+// store serves it from a lazily built secondary index for the position
+// pattern, falling back to a filtered scan past the index budget.
+func (r *Relation) Lookup(pos []int, key Key) iter.Seq[*Fact] {
+	return r.store.Lookup(r.Schema.Name, pos, key)
+}
+
+// Database is a relational database — a set of relations whose facts carry
+// unique IDs and endogenous/exogenous annotations — over a pluggable
+// storage engine. The default backend keeps everything in memory exactly as
+// the package always has; NewOnBackend selects others (see Store).
 type Database struct {
 	id        uint64
+	store     Store
 	relations map[string]*Relation
 	order     []string // relation names in insertion order
 	facts     map[FactID]*Fact
@@ -256,15 +289,102 @@ type Database struct {
 // dbCounter mints process-unique database identities.
 var dbCounter atomic.Uint64
 
-// New returns an empty database.
-func New() *Database {
+// New returns an empty database on the in-memory backend.
+func New() *Database { return NewWithStore(NewMemStore()) }
+
+// NewWithStore returns an empty database over the given (empty) store.
+func NewWithStore(s Store) *Database {
 	return &Database{
 		id:        dbCounter.Add(1),
+		store:     s,
 		relations: make(map[string]*Relation),
 		facts:     make(map[FactID]*Fact),
 		nextID:    1,
 	}
 }
+
+// NewOnBackend returns an empty database on the named storage backend ("",
+// BackendMemory, or BackendSorted). dir makes the sorted backend persistent
+// (see OpenSortedStore); reopen a persisted directory with OpenSorted.
+func NewOnBackend(backend, dir string) (*Database, error) {
+	s, err := OpenStore(backend, dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(s), nil
+}
+
+// OpenSorted reloads a database persisted by a sorted store: it replays the
+// mutation log under dir — schema creations, inserts (original fact IDs and
+// endogenous flags preserved), deletes — and resumes appending to the same
+// log, so the reloaded database continues exactly where the writer left
+// off.
+func OpenSorted(dir string) (*Database, error) {
+	recs, err := readLog(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &sortedStore{
+		relations: make(map[string]*sortedRelation),
+		budget:    DefaultIndexBudget,
+		dir:       dir,
+	}
+	d := NewWithStore(st)
+	for i, rec := range recs {
+		switch rec.Op {
+		case "R":
+			d.CreateRelation(rec.Rel, rec.Cols...)
+		case "I":
+			f := &Fact{ID: rec.ID, Relation: rec.Rel, Tuple: rec.tuple(), Endogenous: rec.Endo}
+			if err := d.restoreFact(f); err != nil {
+				return nil, fmt.Errorf("db: replaying %s record %d: %w", logName, i, err)
+			}
+		case "D":
+			if err := d.Delete(rec.ID); err != nil {
+				return nil, fmt.Errorf("db: replaying %s record %d: %w", logName, i, err)
+			}
+		default:
+			return nil, fmt.Errorf("db: replaying %s record %d: unknown op %q", logName, i, rec.Op)
+		}
+	}
+	if err := st.openLog(); err != nil {
+		return nil, err
+	}
+	st.logging = true
+	return d, nil
+}
+
+// restoreFact inserts a fully formed fact (ID already assigned) during log
+// replay, keeping nextID ahead of every restored ID.
+func (d *Database) restoreFact(f *Fact) error {
+	rel, ok := d.relations[f.Relation]
+	if !ok {
+		return fmt.Errorf("db: %w %q", ErrUnknownRelation, f.Relation)
+	}
+	if len(f.Tuple) != rel.Schema.Arity() {
+		return fmt.Errorf("db: relation %q has arity %d, got %d values: %w",
+			f.Relation, rel.Schema.Arity(), len(f.Tuple), ErrArity)
+	}
+	d.store.Insert(f)
+	d.facts[f.ID] = f
+	if f.ID >= d.nextID {
+		d.nextID = f.ID + 1
+	}
+	rel.epoch++
+	d.epoch++
+	return nil
+}
+
+// Backend returns the name of the storage backend the database runs on.
+func (d *Database) Backend() string { return d.store.Backend() }
+
+// SetIndexBudget bounds the number of lazily built secondary indexes the
+// store keeps per relation (0 restores the default, negative = unbounded).
+func (d *Database) SetIndexBudget(n int) { d.store.SetIndexBudget(n) }
+
+// Close releases the storage backend's resources (flushes and closes the
+// mutation log of a persistent sorted store; a no-op for memory).
+func (d *Database) Close() error { return d.store.Close() }
 
 // ID returns a process-unique identity for the database. Fact IDs are only
 // unique within one database, so anything keying global state by fact ID —
@@ -279,8 +399,10 @@ func (d *Database) CreateRelation(name string, columns ...string) {
 	if _, ok := d.relations[name]; ok {
 		panic(fmt.Sprintf("db: relation %q already exists", name))
 	}
-	d.relations[name] = &Relation{Schema: Schema{Name: name, Columns: columns}}
+	schema := Schema{Name: name, Columns: columns}
+	d.relations[name] = &Relation{Schema: schema, store: d.store}
 	d.order = append(d.order, name)
+	d.store.CreateRelation(schema)
 }
 
 // Relation returns the named relation, or nil if absent.
@@ -311,7 +433,7 @@ func (d *Database) Insert(relation string, endogenous bool, values ...Value) (*F
 		Endogenous: endogenous,
 	}
 	d.nextID++
-	rel.Facts = append(rel.Facts, f)
+	d.store.Insert(f)
 	d.facts[f.ID] = f
 	rel.epoch++
 	d.epoch++
@@ -327,12 +449,7 @@ func (d *Database) Delete(id FactID) error {
 		return fmt.Errorf("db: %w with ID %d", ErrNoFact, id)
 	}
 	rel := d.relations[f.Relation]
-	for i, g := range rel.Facts {
-		if g.ID == id {
-			rel.Facts = append(rel.Facts[:i], rel.Facts[i+1:]...)
-			break
-		}
-	}
+	d.store.Delete(f)
 	delete(d.facts, id)
 	rel.epoch++
 	d.epoch++
@@ -365,7 +482,7 @@ func (d *Database) NumFacts() int { return len(d.facts) }
 func (d *Database) EndogenousFacts() []*Fact {
 	var out []*Fact
 	for _, name := range d.order {
-		for _, f := range d.relations[name].Facts {
+		for f := range d.relations[name].Scan() {
 			if f.Endogenous {
 				out = append(out, f)
 			}
@@ -379,7 +496,7 @@ func (d *Database) EndogenousFacts() []*Fact {
 func (d *Database) ExogenousFacts() []*Fact {
 	var out []*Fact
 	for _, name := range d.order {
-		for _, f := range d.relations[name].Facts {
+		for f := range d.relations[name].Scan() {
 			if !f.Endogenous {
 				out = append(out, f)
 			}
@@ -403,22 +520,56 @@ func (d *Database) NumEndogenous() int {
 // Restrict returns a shallow copy of the database containing only facts for
 // which keep returns true. Fact IDs are preserved, so provenance variables
 // remain comparable across restrictions. This is the sub-database operation
-// q(Dx ∪ E) at the heart of the Shapley definition.
+// q(Dx ∪ E) at the heart of the Shapley definition. Restrictions always
+// live on the in-memory backend regardless of the source's store: they are
+// short-lived evaluation views sharing the source's fact pointers.
 func (d *Database) Restrict(keep func(*Fact) bool) *Database {
 	out := New()
 	out.nextID = d.nextID
 	for _, name := range d.order {
 		rel := d.relations[name]
 		out.CreateRelation(name, rel.Schema.Columns...)
-		nrel := out.relations[name]
-		for _, f := range rel.Facts {
+		for f := range rel.Scan() {
 			if keep(f) {
-				nrel.Facts = append(nrel.Facts, f)
+				out.store.Insert(f)
 				out.facts[f.ID] = f
 			}
 		}
 	}
 	return out
+}
+
+// Migrate copies the database onto the named storage backend: same schemas
+// in creation order, same facts with their IDs and endogenous flags
+// preserved (so provenance variables stay comparable), same next-ID
+// watermark. Facts are deep-copied — the two databases share nothing — and
+// inserted in ID order, which for the memory backend reproduces insertion
+// order. dir makes a sorted target persistent. The source is unchanged.
+func (d *Database) Migrate(backend, dir string) (*Database, error) {
+	out, err := NewOnBackend(backend, dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range d.order {
+		out.CreateRelation(name, d.relations[name].Schema.Columns...)
+	}
+	facts := make([]*Fact, 0, len(d.facts))
+	for _, f := range d.facts {
+		facts = append(facts, f)
+	}
+	sort.Slice(facts, func(i, j int) bool { return facts[i].ID < facts[j].ID })
+	for _, f := range facts {
+		cp := &Fact{ID: f.ID, Relation: f.Relation, Endogenous: f.Endogenous,
+			Tuple: append(Tuple(nil), f.Tuple...)}
+		if err := out.restoreFact(cp); err != nil {
+			out.Close()
+			return nil, err
+		}
+	}
+	if out.nextID < d.nextID {
+		out.nextID = d.nextID
+	}
+	return out, nil
 }
 
 // WithEndogenousSubset returns the sub-database Dx ∪ E where E is the given

@@ -150,7 +150,7 @@ func TestRestrictPreservesIDs(t *testing.T) {
 	if sub.Fact(f3.ID) == nil {
 		t.Error("exogenous fact missing from restriction")
 	}
-	if got := len(sub.Relation("R").Facts); got != 2 {
+	if got := len(sub.Relation("R").Facts()); got != 2 {
 		t.Errorf("restricted relation has %d facts, want 2", got)
 	}
 }
@@ -193,8 +193,8 @@ func TestDeleteRemovesFactAndKeepsIDsMonotone(t *testing.T) {
 		t.Errorf("NumFacts = %d, want 1", d.NumFacts())
 	}
 	rel := d.Relation("R")
-	if len(rel.Facts) != 1 || rel.Facts[0].ID != f2.ID {
-		t.Errorf("relation facts = %v, want just #%d", rel.Facts, f2.ID)
+	if len(rel.Facts()) != 1 || rel.Facts()[0].ID != f2.ID {
+		t.Errorf("relation facts = %v, want just #%d", rel.Facts(), f2.ID)
 	}
 	f3 := d.MustInsert("R", true, Int(3))
 	if f3.ID <= f2.ID {

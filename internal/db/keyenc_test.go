@@ -1,0 +1,137 @@
+package db
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestValueKeyOrderPreserving checks that byte order of encodings matches
+// value order within each kind class — the invariant the sorted backend's
+// range scans rely on.
+func TestValueKeyOrderPreserving(t *testing.T) {
+	ints := []int64{math.MinInt64, -1 << 40, -7, -1, 0, 1, 42, 1 << 40, math.MaxInt64}
+	for i := 1; i < len(ints); i++ {
+		a := string(AppendValueKey(nil, Int(ints[i-1])))
+		b := string(AppendValueKey(nil, Int(ints[i])))
+		if !(a < b) {
+			t.Errorf("key(%d) >= key(%d)", ints[i-1], ints[i])
+		}
+	}
+	floats := []float64{math.Inf(-1), -1e300, -3.5, -0.0001, 0, 0.0001, 1, 2.5, 1e300, math.Inf(1)}
+	for i := 1; i < len(floats); i++ {
+		a := string(AppendValueKey(nil, Float(floats[i-1])))
+		b := string(AppendValueKey(nil, Float(floats[i])))
+		if !(a < b) {
+			t.Errorf("key(%g) >= key(%g)", floats[i-1], floats[i])
+		}
+	}
+	strs := []string{"", "a", "a\x00", "a\x00b", "ab", "abc", "b"}
+	for i := 1; i < len(strs); i++ {
+		a := string(AppendValueKey(nil, String(strs[i-1])))
+		b := string(AppendValueKey(nil, String(strs[i])))
+		if !(a < b) {
+			t.Errorf("key(%q) >= key(%q)", strs[i-1], strs[i])
+		}
+	}
+}
+
+// TestTupleKeyPrefixSafety checks that the encoding is self-delimiting: the
+// key of a value sequence is a byte prefix of a composite key exactly when
+// the sequence is a value-level prefix. Without this, equality lookups via
+// prefix range scans would return false matches.
+func TestTupleKeyPrefixSafety(t *testing.T) {
+	full := TupleKey(Tuple{String("ab"), Int(7)}, nil)
+	if got := TupleKey(Tuple{String("ab")}, nil); len(got) >= len(full) || full[:len(got)] != got {
+		t.Errorf("value prefix is not a byte prefix: %q vs %q", got, full)
+	}
+	// "ab" must not prefix-match a fact with first value "abc" or "ab\x00x".
+	for _, other := range []Tuple{{String("abc"), Int(7)}, {String("ab\x00x"), Int(7)}} {
+		ok := TupleKey(Tuple{String("ab")}, nil)
+		enc := TupleKey(other, nil)
+		if len(enc) >= len(ok) && enc[:len(ok)] == ok {
+			t.Errorf("key(%v) falsely prefixed by key(ab)", other)
+		}
+	}
+}
+
+// TestTupleKeyEqualitySemantics: keys agree exactly with the Value.Key
+// identity the legacy join index used (ints, floats, strings disjoint).
+func TestTupleKeyEqualitySemantics(t *testing.T) {
+	if TupleKey(Tuple{Int(5)}, nil) == TupleKey(Tuple{Float(5)}, nil) {
+		t.Error("int and float keys collide; legacy join identity kept them distinct")
+	}
+	if TupleKey(Tuple{Int(5), String("x")}, nil) != TupleKey(Tuple{Int(5), String("x")}, nil) {
+		t.Error("equal tuples produced different keys")
+	}
+	// Position subsets select the right values.
+	tu := Tuple{Int(1), String("mid"), Int(3)}
+	if TupleKey(tu, []int{0, 2}) != TupleKey(Tuple{Int(1), Int(3)}, nil) {
+		t.Error("position-subset key mismatch")
+	}
+}
+
+func TestBTreeInsertDeleteAscend(t *testing.T) {
+	var bt btree
+	n := 10000
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Deterministic shuffle.
+	for i := n - 1; i > 0; i-- {
+		j := (i*2654435761 + 12345) % (i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for _, v := range perm {
+		key := string(AppendValueKey(nil, Int(int64(v))))
+		bt.insert(key, &Fact{ID: FactID(v)})
+	}
+	if bt.len() != n {
+		t.Fatalf("len = %d, want %d", bt.len(), n)
+	}
+	// Delete every third element, in shuffled order.
+	deleted := make(map[int]bool)
+	for _, v := range perm {
+		if v%3 == 0 {
+			key := string(AppendValueKey(nil, Int(int64(v))))
+			if !bt.delete(key) {
+				t.Fatalf("delete(%d) reported missing", v)
+			}
+			deleted[v] = true
+		}
+	}
+	var got []int
+	bt.ascend("", func(it btreeItem) bool {
+		got = append(got, int(it.fact.ID))
+		return true
+	})
+	if !sort.IntsAreSorted(got) {
+		t.Error("ascend order is not sorted")
+	}
+	want := 0
+	for v := 0; v < n; v++ {
+		if !deleted[v] {
+			if got[want] != v {
+				t.Fatalf("ascend[%d] = %d, want %d", want, got[want], v)
+			}
+			want++
+		}
+	}
+	if want != len(got) {
+		t.Fatalf("ascend yielded %d items, want %d", len(got), want)
+	}
+	// Bounded ascend.
+	from := string(AppendValueKey(nil, Int(9000)))
+	count := 0
+	bt.ascend(from, func(it btreeItem) bool {
+		if int(it.fact.ID) < 9000 {
+			t.Fatalf("ascend(from 9000) yielded %d", it.fact.ID)
+		}
+		count++
+		return true
+	})
+	if count == 0 {
+		t.Error("bounded ascend yielded nothing")
+	}
+}

@@ -1,0 +1,157 @@
+package db
+
+import "iter"
+
+// memStore is the in-memory backend: the historical per-relation fact
+// slices (insertion order preserved), extended with secondary hash indexes
+// built lazily per (relation, bound-positions) access pattern and
+// maintained incrementally under mutations — replacing the per-join index
+// rebuild the old evaluator paid on every joinAtom call.
+type memStore struct {
+	relations map[string]*memRelation
+	budget    int
+}
+
+type memRelation struct {
+	facts   []*Fact
+	indexes map[string]*memIndex // by position signature
+}
+
+type memIndex struct {
+	pos     []int
+	buckets map[Key][]*Fact
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() Store {
+	return &memStore{
+		relations: make(map[string]*memRelation),
+		budget:    DefaultIndexBudget,
+	}
+}
+
+func (s *memStore) Backend() string { return BackendMemory }
+
+func (s *memStore) CreateRelation(schema Schema) {
+	s.relations[schema.Name] = &memRelation{indexes: make(map[string]*memIndex)}
+}
+
+func (s *memStore) Insert(f *Fact) {
+	r := s.relations[f.Relation]
+	r.facts = append(r.facts, f)
+	var buf []byte
+	for _, ix := range r.indexes {
+		buf = AppendTupleKey(buf[:0], f.Tuple, ix.pos)
+		k := Key(buf)
+		ix.buckets[k] = append(ix.buckets[k], f)
+	}
+}
+
+func (s *memStore) Delete(f *Fact) {
+	r := s.relations[f.Relation]
+	for i, g := range r.facts {
+		if g.ID == f.ID {
+			r.facts = append(r.facts[:i], r.facts[i+1:]...)
+			break
+		}
+	}
+	var buf []byte
+	for _, ix := range r.indexes {
+		buf = AppendTupleKey(buf[:0], f.Tuple, ix.pos)
+		k := Key(buf)
+		for i, g := range ix.buckets[k] {
+			if g.ID == f.ID {
+				ix.buckets[k] = append(ix.buckets[k][:i], ix.buckets[k][i+1:]...)
+				break
+			}
+		}
+		if len(ix.buckets[k]) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+}
+
+func (s *memStore) Scan(relation string) iter.Seq[*Fact] {
+	r := s.relations[relation]
+	return func(yield func(*Fact) bool) {
+		if r == nil {
+			return
+		}
+		for _, f := range r.facts {
+			if !yield(f) {
+				return
+			}
+		}
+	}
+}
+
+func (s *memStore) Lookup(relation string, pos []int, key Key) iter.Seq[*Fact] {
+	r := s.relations[relation]
+	if r == nil {
+		return func(func(*Fact) bool) {}
+	}
+	sig := posSig(pos)
+	ix := r.indexes[sig]
+	if ix == nil {
+		if s.budget >= 0 && len(r.indexes) >= s.budget {
+			// Budget exhausted: serve a filtered scan instead of building
+			// yet another index.
+			return func(yield func(*Fact) bool) {
+				var buf []byte
+				for _, f := range r.facts {
+					buf = AppendTupleKey(buf[:0], f.Tuple, pos)
+					if Key(buf) == key && !yield(f) {
+						return
+					}
+				}
+			}
+		}
+		ix = &memIndex{pos: append([]int(nil), pos...), buckets: make(map[Key][]*Fact, len(r.facts))}
+		var buf []byte
+		for _, f := range r.facts {
+			buf = AppendTupleKey(buf[:0], f.Tuple, pos)
+			k := Key(buf)
+			ix.buckets[k] = append(ix.buckets[k], f)
+		}
+		r.indexes[sig] = ix
+	}
+	bucket := ix.buckets[key]
+	return func(yield func(*Fact) bool) {
+		for _, f := range bucket {
+			if !yield(f) {
+				return
+			}
+		}
+	}
+}
+
+func (s *memStore) Len(relation string) int {
+	r := s.relations[relation]
+	if r == nil {
+		return 0
+	}
+	return len(r.facts)
+}
+
+func (s *memStore) SetIndexBudget(n int) {
+	switch {
+	case n == 0:
+		s.budget = DefaultIndexBudget
+	case n < 0:
+		s.budget = -1
+	default:
+		s.budget = n
+	}
+}
+
+func (s *memStore) Close() error { return nil }
+
+// indexCount reports the number of built secondary indexes for a relation
+// (test hook).
+func (s *memStore) indexCount(relation string) int {
+	r := s.relations[relation]
+	if r == nil {
+		return 0
+	}
+	return len(r.indexes)
+}

@@ -1,0 +1,286 @@
+package db
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"path/filepath"
+)
+
+// sortedStore is the ordered backend: every relation keeps a primary B-tree
+// over the sort-preserving encoding of the full tuple (fact-ID suffixed, so
+// duplicate tuples coexist), and secondary B-trees are built lazily per
+// (relation, bound-positions) access pattern, exactly like the memory
+// backend's hash indexes but serving equality lookups as prefix range
+// scans. With a directory, every mutation is appended to an on-disk log so
+// the dataset survives the process (OpenSorted replays it).
+type sortedStore struct {
+	relations map[string]*sortedRelation
+	budget    int
+
+	// Persistence (nil/disabled when dir == "").
+	dir     string
+	logFile *os.File
+	logW    *bufio.Writer
+	logging bool
+	unsync  int // mutations since the last flush
+}
+
+type sortedRelation struct {
+	primary btree
+	indexes map[string]*sortedIndex
+}
+
+type sortedIndex struct {
+	pos  []int
+	tree btree
+}
+
+// logFlushEvery bounds how many mutations may sit in the write buffer
+// before the log is flushed to the OS.
+const logFlushEvery = 1024
+
+// logName is the append-only mutation log inside a sorted store directory.
+const logName = "facts.log"
+
+// NewSortedStore returns an ephemeral (memory-only) sorted store.
+func NewSortedStore() Store {
+	s, _ := OpenSortedStore("")
+	return s
+}
+
+// OpenSortedStore opens a sorted store. With an empty dir the store is
+// ephemeral. With a directory, mutations are logged to dir/facts.log; the
+// directory is created if needed. A directory whose log already holds data
+// is refused — reopen persisted datasets with OpenSorted, which replays the
+// log into a Database before appending resumes.
+func OpenSortedStore(dir string) (Store, error) {
+	s := &sortedStore{
+		relations: make(map[string]*sortedRelation),
+		budget:    DefaultIndexBudget,
+		dir:       dir,
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("db: sorted store dir: %w", err)
+	}
+	path := filepath.Join(dir, logName)
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return nil, fmt.Errorf("db: sorted store log %s already holds data; use db.OpenSorted to reload it", path)
+	}
+	if err := s.openLog(); err != nil {
+		return nil, err
+	}
+	s.logging = true
+	return s, nil
+}
+
+func (s *sortedStore) openLog() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("db: sorted store log: %w", err)
+	}
+	s.logFile = f
+	s.logW = bufio.NewWriter(f)
+	return nil
+}
+
+func (s *sortedStore) Backend() string { return BackendSorted }
+
+func (s *sortedStore) CreateRelation(schema Schema) {
+	s.relations[schema.Name] = &sortedRelation{indexes: make(map[string]*sortedIndex)}
+	s.appendLog(logRecord{Op: "R", Rel: schema.Name, Cols: schema.Columns})
+}
+
+func (s *sortedStore) Insert(f *Fact) {
+	r := s.relations[f.Relation]
+	key := AppendFactID(AppendTupleKey(nil, f.Tuple, nil), f.ID)
+	r.primary.insert(string(key), f)
+	var buf []byte
+	for _, ix := range r.indexes {
+		buf = AppendFactID(AppendTupleKey(buf[:0], f.Tuple, ix.pos), f.ID)
+		ix.tree.insert(string(buf), f)
+	}
+	s.appendLog(insertRecord(f))
+}
+
+func (s *sortedStore) Delete(f *Fact) {
+	r := s.relations[f.Relation]
+	key := AppendFactID(AppendTupleKey(nil, f.Tuple, nil), f.ID)
+	r.primary.delete(string(key))
+	var buf []byte
+	for _, ix := range r.indexes {
+		buf = AppendFactID(AppendTupleKey(buf[:0], f.Tuple, ix.pos), f.ID)
+		ix.tree.delete(string(buf))
+	}
+	s.appendLog(logRecord{Op: "D", ID: f.ID})
+}
+
+func (s *sortedStore) Scan(relation string) iter.Seq[*Fact] {
+	r := s.relations[relation]
+	return func(yield func(*Fact) bool) {
+		if r == nil {
+			return
+		}
+		r.primary.ascend("", func(it btreeItem) bool { return yield(it.fact) })
+	}
+}
+
+func (s *sortedStore) Lookup(relation string, pos []int, key Key) iter.Seq[*Fact] {
+	r := s.relations[relation]
+	if r == nil {
+		return func(func(*Fact) bool) {}
+	}
+	sig := posSig(pos)
+	ix := r.indexes[sig]
+	if ix == nil {
+		if s.budget >= 0 && len(r.indexes) >= s.budget {
+			// Budget exhausted: filtered primary scan.
+			return func(yield func(*Fact) bool) {
+				var buf []byte
+				r.primary.ascend("", func(it btreeItem) bool {
+					buf = AppendTupleKey(buf[:0], it.fact.Tuple, pos)
+					if Key(buf) == key {
+						return yield(it.fact)
+					}
+					return true
+				})
+			}
+		}
+		ix = &sortedIndex{pos: append([]int(nil), pos...)}
+		var buf []byte
+		r.primary.ascend("", func(it btreeItem) bool {
+			buf = AppendFactID(AppendTupleKey(buf[:0], it.fact.Tuple, ix.pos), it.fact.ID)
+			ix.tree.insert(string(buf), it.fact)
+			return true
+		})
+		r.indexes[sig] = ix
+	}
+	// Value encodings are self-delimiting, so equality on the encoded
+	// positions is exactly a prefix match on the index key.
+	return func(yield func(*Fact) bool) {
+		ix.tree.ascendPrefix(string(key), func(it btreeItem) bool { return yield(it.fact) })
+	}
+}
+
+func (s *sortedStore) Len(relation string) int {
+	r := s.relations[relation]
+	if r == nil {
+		return 0
+	}
+	return r.primary.len()
+}
+
+func (s *sortedStore) SetIndexBudget(n int) {
+	switch {
+	case n == 0:
+		s.budget = DefaultIndexBudget
+	case n < 0:
+		s.budget = -1
+	default:
+		s.budget = n
+	}
+}
+
+// Close flushes and closes the mutation log (no-op for ephemeral stores).
+func (s *sortedStore) Close() error {
+	if s.logFile == nil {
+		return nil
+	}
+	err := s.logW.Flush()
+	if cerr := s.logFile.Close(); err == nil {
+		err = cerr
+	}
+	s.logFile, s.logW, s.logging = nil, nil, false
+	return err
+}
+
+// logRecord is one line of the sorted store's JSONL mutation log.
+type logRecord struct {
+	Op   string     `json:"op"` // "R" create relation, "I" insert, "D" delete
+	Rel  string     `json:"rel,omitempty"`
+	Cols []string   `json:"cols,omitempty"`
+	ID   FactID     `json:"id,omitempty"`
+	Endo bool       `json:"endo,omitempty"`
+	Vals []logValue `json:"vals,omitempty"`
+}
+
+// logValue is the log serialization of a Value.
+type logValue struct {
+	K uint8   `json:"k"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+func insertRecord(f *Fact) logRecord {
+	rec := logRecord{Op: "I", Rel: f.Relation, ID: f.ID, Endo: f.Endogenous, Vals: make([]logValue, len(f.Tuple))}
+	for i, v := range f.Tuple {
+		rec.Vals[i] = logValue{K: uint8(v.kind), I: v.i, F: v.f, S: v.s}
+	}
+	return rec
+}
+
+func (rec logRecord) tuple() []Value {
+	vals := make([]Value, len(rec.Vals))
+	for i, lv := range rec.Vals {
+		vals[i] = Value{kind: Kind(lv.K), i: lv.I, f: lv.F, s: lv.S}
+	}
+	return vals
+}
+
+func (s *sortedStore) appendLog(rec logRecord) {
+	if !s.logging {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		panic(fmt.Sprintf("db: sorted store log encode: %v", err)) // all fields are marshalable
+	}
+	b = append(b, '\n')
+	if _, err := s.logW.Write(b); err != nil {
+		panic(fmt.Sprintf("db: sorted store log write: %v", err))
+	}
+	s.unsync++
+	if s.unsync >= logFlushEvery {
+		s.logW.Flush()
+		s.unsync = 0
+	}
+}
+
+// Persisted reports whether dir holds sorted-store state from a previous
+// run, i.e. whether OpenSorted would restore any relations or facts from it.
+func Persisted(dir string) bool {
+	st, err := os.Stat(filepath.Join(dir, logName))
+	return err == nil && st.Size() > 0
+}
+
+// readLog parses the mutation log under dir. A missing log yields no
+// records and no error (a fresh directory is a valid empty dataset).
+func readLog(dir string) ([]logRecord, error) {
+	f, err := os.Open(filepath.Join(dir, logName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("db: sorted store log: %w", err)
+	}
+	defer f.Close()
+	var out []logRecord
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var rec logRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("db: sorted store log record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,102 @@
+package db
+
+import (
+	"fmt"
+	"iter"
+	"sort"
+)
+
+// Store is the pluggable storage engine behind a Database: it owns the
+// per-relation fact sets and the secondary indexes the evaluation layer's
+// indexed lookups run against. The Database remains the system of record
+// for fact identity (IDs, the ID→fact map, epochs); the store decides how
+// facts are laid out and found.
+//
+// Two implementations ship: the in-memory backend (BackendMemory, the
+// historical slices plus lazily built hash indexes) and the sorted backend
+// (BackendSorted, per-relation B-trees over sort-preserving key encodings
+// with optional append-log persistence). Stores are not safe for concurrent
+// mutation; the Database's callers serialize writes exactly as they always
+// have for the in-memory slices.
+type Store interface {
+	// Backend returns the store's registered backend name.
+	Backend() string
+	// CreateRelation registers storage for a new relation.
+	CreateRelation(schema Schema)
+	// Insert adds a fact to its relation's storage.
+	Insert(f *Fact)
+	// Delete removes a fact from its relation's storage.
+	Delete(f *Fact)
+	// Scan yields every fact of the relation, in the backend's native order
+	// (insertion order for memory, key order for sorted).
+	Scan(relation string) iter.Seq[*Fact]
+	// Lookup yields the facts whose tuple matches key at the given
+	// positions. pos must be sorted ascending; key must be the
+	// TupleKey-encoding of the sought values in pos order. Backends build
+	// or reuse a secondary index per (relation, position-set) access
+	// pattern, falling back to a filtered scan when the index budget is
+	// exhausted.
+	Lookup(relation string, pos []int, key Key) iter.Seq[*Fact]
+	// Len returns the relation's fact count.
+	Len(relation string) int
+	// SetIndexBudget bounds the number of distinct secondary indexes kept
+	// per relation (0 restores DefaultIndexBudget, negative = unbounded).
+	// Lookups beyond the budget degrade to filtered scans, never errors.
+	SetIndexBudget(n int)
+	// Close releases backend resources (file handles for persistent
+	// stores; a no-op for memory).
+	Close() error
+}
+
+// Backend names accepted by OpenStore and Options-level storage knobs.
+const (
+	// BackendMemory is the historical in-memory backend: per-relation fact
+	// slices in insertion order, with lazily built hash indexes per access
+	// pattern.
+	BackendMemory = "memory"
+	// BackendSorted is the ordered backend: per-relation B-trees keyed by
+	// the sort-preserving tuple encoding, serving indexed lookups as prefix
+	// range scans, optionally persisted to an append-only log directory.
+	BackendSorted = "sorted"
+)
+
+// DefaultIndexBudget is the default cap on distinct secondary indexes per
+// relation. Each query shape touches at most one bound-position pattern per
+// atom, so a handful covers every workload in the repository; the cap
+// exists to bound memory under adversarial query diversity.
+const DefaultIndexBudget = 8
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	out := []string{BackendMemory, BackendSorted}
+	sort.Strings(out)
+	return out
+}
+
+// KnownBackend reports whether name is a registered backend name; the empty
+// string counts as the default (memory) backend.
+func KnownBackend(name string) bool {
+	switch name {
+	case "", BackendMemory, BackendSorted:
+		return true
+	}
+	return false
+}
+
+// OpenStore opens a store by backend name. The empty name means
+// BackendMemory. dir is only meaningful for BackendSorted, where a
+// non-empty value makes the store persistent (see OpenSortedStore); the
+// memory backend rejects it.
+func OpenStore(backend, dir string) (Store, error) {
+	switch backend {
+	case "", BackendMemory:
+		if dir != "" {
+			return nil, fmt.Errorf("db: the %q backend does not persist; directory %q is only valid with %q", BackendMemory, dir, BackendSorted)
+		}
+		return NewMemStore(), nil
+	case BackendSorted:
+		return OpenSortedStore(dir)
+	default:
+		return nil, fmt.Errorf("db: unknown storage backend %q (known: %v)", backend, Backends())
+	}
+}

@@ -1,0 +1,274 @@
+package db
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// populate fills a database with a small two-relation instance.
+func populate(t *testing.T, d *Database) []*Fact {
+	t.Helper()
+	d.CreateRelation("R", "a", "b")
+	d.CreateRelation("S", "b", "c")
+	var facts []*Fact
+	for i := 0; i < 20; i++ {
+		facts = append(facts, d.MustInsert("R", true, Int(int64(i%5)), String(string(rune('a'+i%7)))))
+	}
+	for i := 0; i < 10; i++ {
+		facts = append(facts, d.MustInsert("S", i%2 == 0, String(string(rune('a'+i%7))), Int(int64(i))))
+	}
+	return facts
+}
+
+func ids(fs []*Fact) []int {
+	out := make([]int, len(fs))
+	for i, f := range fs {
+		out[i] = int(f.ID)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func backendsUnderTest(t *testing.T) map[string]*Database {
+	t.Helper()
+	mem := New()
+	srt, err := NewOnBackend(BackendSorted, "")
+	if err != nil {
+		t.Fatalf("NewOnBackend(sorted): %v", err)
+	}
+	return map[string]*Database{BackendMemory: mem, BackendSorted: srt}
+}
+
+// TestStoreScanAndLookupAgree drives Scan and Lookup on both backends and
+// checks they see the same fact sets as the materialized Facts slice.
+func TestStoreScanAndLookupAgree(t *testing.T) {
+	for name, d := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			populate(t, d)
+			rel := d.Relation("R")
+			if rel.Len() != 20 {
+				t.Fatalf("Len = %d, want 20", rel.Len())
+			}
+			if got := len(rel.Facts()); got != 20 {
+				t.Fatalf("len(Facts()) = %d, want 20", got)
+			}
+			// Lookup on position 0 must partition the scan.
+			seen := 0
+			for v := int64(0); v < 5; v++ {
+				var got []*Fact
+				for f := range rel.Lookup([]int{0}, TupleKey(Tuple{Int(v)}, nil)) {
+					if f.Tuple[0].AsInt() != v {
+						t.Fatalf("Lookup(0=%d) yielded %v", v, f)
+					}
+					got = append(got, f)
+				}
+				seen += len(got)
+			}
+			if seen != 20 {
+				t.Errorf("lookups covered %d facts, want 20", seen)
+			}
+			// Composite two-position lookup.
+			want := 0
+			for f := range rel.Scan() {
+				if f.Tuple[0].AsInt() == 2 && f.Tuple[1].AsString() == "c" {
+					want++
+				}
+			}
+			got := 0
+			for range rel.Lookup([]int{0, 1}, TupleKey(Tuple{Int(2), String("c")}, nil)) {
+				got++
+			}
+			if got != want {
+				t.Errorf("composite lookup = %d facts, want %d", got, want)
+			}
+			// Lookup on an unknown relation and empty relation must yield
+			// nothing, not panic.
+			d.CreateRelation("Empty", "x")
+			for range d.Relation("Empty").Scan() {
+				t.Fatal("scan of empty relation yielded a fact")
+			}
+			for range d.Relation("Empty").Lookup([]int{0}, TupleKey(Tuple{Int(1)}, nil)) {
+				t.Fatal("lookup in empty relation yielded a fact")
+			}
+		})
+	}
+}
+
+// TestStoreDeleteMaintainsIndexes deletes facts after indexes were built and
+// checks lookups never serve dead facts.
+func TestStoreDeleteMaintainsIndexes(t *testing.T) {
+	for name, d := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			facts := populate(t, d)
+			rel := d.Relation("R")
+			// Build the index first.
+			for range rel.Lookup([]int{0}, TupleKey(Tuple{Int(1)}, nil)) {
+			}
+			for _, f := range facts {
+				if f.Relation == "R" && f.Tuple[0].AsInt() == 1 {
+					if err := d.Delete(f.ID); err != nil {
+						t.Fatalf("Delete: %v", err)
+					}
+				}
+			}
+			for f := range rel.Lookup([]int{0}, TupleKey(Tuple{Int(1)}, nil)) {
+				t.Fatalf("lookup yielded deleted fact %v", f)
+			}
+			if rel.Len() != 16 {
+				t.Errorf("Len after deletes = %d, want 16", rel.Len())
+			}
+		})
+	}
+}
+
+// TestIndexBudgetFallback exhausts the per-relation index budget and checks
+// lookups still return correct results via filtered scans.
+func TestIndexBudgetFallback(t *testing.T) {
+	for name, d := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			populate(t, d)
+			d.SetIndexBudget(1)
+			rel := d.Relation("R")
+			for range rel.Lookup([]int{0}, TupleKey(Tuple{Int(1)}, nil)) {
+			}
+			// Second pattern exceeds the budget; must still be correct.
+			got := 0
+			for f := range rel.Lookup([]int{1}, TupleKey(Tuple{String("c")}, nil)) {
+				if f.Tuple[1].AsString() != "c" {
+					t.Fatalf("budget-fallback lookup yielded %v", f)
+				}
+				got++
+			}
+			want := 0
+			for f := range rel.Scan() {
+				if f.Tuple[1].AsString() == "c" {
+					want++
+				}
+			}
+			if got != want {
+				t.Errorf("fallback lookup = %d, want %d", got, want)
+			}
+			if ms, ok := d.store.(*memStore); ok && ms.indexCount("R") != 1 {
+				t.Errorf("index count = %d, want 1 (budget)", ms.indexCount("R"))
+			}
+		})
+	}
+}
+
+// TestSortedScanIsKeyOrdered checks the sorted backend's native scan order.
+func TestSortedScanIsKeyOrdered(t *testing.T) {
+	d, err := NewOnBackend(BackendSorted, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CreateRelation("R", "a")
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		d.MustInsert("R", true, Int(v))
+	}
+	var got []int64
+	for f := range d.Relation("R").Scan() {
+		got = append(got, f.Tuple[0].AsInt())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("sorted scan out of order: %v", got)
+		}
+	}
+}
+
+// TestSortedPersistenceRoundTrip writes through a persistent sorted store,
+// reopens the directory, and checks facts, IDs, endogenous flags, deletes,
+// and continued appends all survive.
+func TestSortedPersistenceRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	d, err := NewOnBackend(BackendSorted, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := populate(t, d)
+	victim := facts[3]
+	if err := d.Delete(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := OpenSorted(dir)
+	if err != nil {
+		t.Fatalf("OpenSorted: %v", err)
+	}
+	if re.NumFacts() != d.NumFacts() {
+		t.Fatalf("reloaded NumFacts = %d, want %d", re.NumFacts(), d.NumFacts())
+	}
+	if re.Fact(victim.ID) != nil {
+		t.Error("deleted fact survived the reload")
+	}
+	a, b := ids(d.EndogenousFacts()), ids(re.EndogenousFacts())
+	if len(a) != len(b) {
+		t.Fatalf("endogenous counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("endogenous IDs differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// New inserts must mint IDs above everything restored, and persist.
+	nf, err := re.Insert("R", true, Int(99), String("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.ID < FactID(len(facts)) {
+		t.Errorf("post-reload ID %d collides with restored IDs", nf.ID)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenSorted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Fact(nf.ID) == nil {
+		t.Error("post-reload insert did not persist")
+	}
+	re2.Close()
+}
+
+// TestOpenStoreErrors covers the backend registry's failure modes.
+func TestOpenStoreErrors(t *testing.T) {
+	if _, err := OpenStore("lsm", ""); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := OpenStore(BackendMemory, t.TempDir()); err == nil {
+		t.Error("memory backend accepted a directory")
+	}
+	dir := t.TempDir()
+	d, err := NewOnBackend(BackendSorted, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CreateRelation("R", "a")
+	d.MustInsert("R", true, Int(1))
+	d.Close()
+	if _, err := OpenStore(BackendSorted, dir); err == nil {
+		t.Error("OpenStore clobbered a non-empty persisted directory; want refusal pointing at OpenSorted")
+	}
+}
+
+// TestRestrictStaysInMemory: restrictions of a sorted database are
+// evaluation views on the memory backend.
+func TestRestrictStaysInMemory(t *testing.T) {
+	d, err := NewOnBackend(BackendSorted, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, d)
+	sub := d.Restrict(func(f *Fact) bool { return f.Endogenous })
+	if sub.Backend() != BackendMemory {
+		t.Errorf("restriction backend = %q, want %q", sub.Backend(), BackendMemory)
+	}
+	if sub.NumFacts() != d.NumEndogenous() {
+		t.Errorf("restriction has %d facts, want %d", sub.NumFacts(), d.NumEndogenous())
+	}
+}

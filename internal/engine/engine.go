@@ -1,9 +1,17 @@
 // Package engine evaluates SPJU queries (unions of conjunctive queries with
-// filters) over in-memory databases while tracking Boolean provenance: every
-// output tuple is returned together with its lineage circuit in the sense of
-// Imielinski and Lipski. This substitutes for the PostgreSQL + ProvSQL stack
-// of the paper's implementation; downstream stages consume only the lineage
-// circuits, which are the same Boolean functions either way.
+// filters) over pluggable-storage databases while tracking Boolean
+// provenance: every output tuple is returned together with its lineage
+// circuit in the sense of Imielinski and Lipski. This substitutes for the
+// PostgreSQL + ProvSQL stack of the paper's implementation; downstream
+// stages consume only the lineage circuits, which are the same Boolean
+// functions either way.
+//
+// Evaluation is streaming: each conjunctive query compiles to a left-deep
+// pipeline of iterators (see plan.go) that walks the store's scans and
+// indexed lookups one row at a time, so grounding never materializes an
+// intermediate binding table. The previous slice-materializing evaluator is
+// kept as EvalMaterialized (materialized.go) — it is the reference oracle
+// for equivalence tests and the baseline for the grounding benchmarks.
 package engine
 
 import (
@@ -41,13 +49,6 @@ type Answer struct {
 	Lineage *circuit.Node
 }
 
-// binding is a partial homomorphism from query variables to values, with the
-// facts supporting it (one per joined atom, in join order).
-type binding struct {
-	vals  map[string]db.Value
-	facts []*db.Fact
-}
-
 // Derivation is one witness of an output tuple: the head values together
 // with the facts (endogenous and exogenous) the witnessing join used. The
 // tuple's lineage is the disjunction, over its derivations, of the
@@ -67,15 +68,27 @@ func (dv Derivation) Conjunction(b *circuit.Builder, opts Options) *circuit.Node
 	return b.And(nodes...)
 }
 
+// deriveFunc enumerates the derivations of one conjunctive query, with an
+// optional pinned atom; deriveCQ (streaming) and deriveCQMaterialized
+// implement it.
+type deriveFunc func(d *db.Database, cq *query.CQ, pin int, pinFact *db.Fact) ([]Derivation, error)
+
 // Eval evaluates the UCQ over the database, building lineage circuits in b.
 // Answers are sorted by tuple for determinism. A Boolean query yields at
 // most one answer with the empty tuple; absence means the query is false on
 // every sub-database (lineage identically false).
 func Eval(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) ([]Answer, error) {
+	return evalWith(d, q, b, opts, deriveCQ)
+}
+
+// evalWith is Eval parameterized by the derivation enumerator, so the
+// streaming and materialized engines share the answer-assembly (grouping by
+// tuple key, sorted output) and produce byte-identical answer orderings.
+func evalWith(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options, derive deriveFunc) ([]Answer, error) {
 	groups := make(map[string][]*circuit.Node)
 	tuples := make(map[string]db.Tuple)
 	for i := range q.Disjuncts {
-		derivs, err := deriveCQ(d, &q.Disjuncts[i], -1, nil)
+		derivs, err := derive(d, &q.Disjuncts[i], -1, nil)
 		if err != nil {
 			return nil, fmt.Errorf("engine: disjunct %d: %w", i, err)
 		}
@@ -141,157 +154,26 @@ func EvalBoolean(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options)
 	return answers[0].Lineage, nil
 }
 
-// deriveCQ enumerates the derivations of one conjunctive query. With
-// pin >= 0, atom pin ranges over only pinFact instead of its whole relation
-// — the delta-join primitive behind EvalDelta.
+// deriveCQ enumerates the derivations of one conjunctive query by compiling
+// it to a streaming plan and draining the row stream. With pin >= 0, atom
+// pin ranges over only pinFact instead of its whole relation — the
+// delta-join primitive behind EvalDelta.
 func deriveCQ(d *db.Database, cq *query.CQ, pin int, pinFact *db.Fact) ([]Derivation, error) {
-	if err := cq.Validate(); err != nil {
+	p, err := planCQ(d, cq, pin)
+	if err != nil {
 		return nil, err
 	}
-	for _, a := range cq.Atoms {
-		rel := d.Relation(a.Relation)
-		if rel == nil {
-			return nil, fmt.Errorf("engine: %w %q", db.ErrUnknownRelation, a.Relation)
+	var out []Derivation
+	err = p.run(d, pinFact, func(regs []db.Value, support []*db.Fact) bool {
+		head := make(db.Tuple, len(p.headRegs))
+		for i, r := range p.headRegs {
+			head[i] = regs[r]
 		}
-		if len(a.Args) != rel.Schema.Arity() {
-			return nil, fmt.Errorf("atom %s: relation has arity %d: %w", a, rel.Schema.Arity(), db.ErrArity)
-		}
-	}
-
-	bindings := []binding{{vals: map[string]db.Value{}}}
-	bound := make(map[string]bool)
-	remainingAtoms := make([]int, len(cq.Atoms))
-	for i := range remainingAtoms {
-		remainingAtoms[i] = i
-	}
-	pendingFilters := make([]query.Filter, len(cq.Filters))
-	copy(pendingFilters, cq.Filters)
-
-	for len(remainingAtoms) > 0 && len(bindings) > 0 {
-		idx := pickAtom(cq, remainingAtoms, bound, pin)
-		atom := cq.Atoms[idx]
-		remainingAtoms = removeInt(remainingAtoms, idx)
-
-		facts := d.Relation(atom.Relation).Facts
-		if idx == pin {
-			facts = []*db.Fact{pinFact}
-		}
-		var err error
-		bindings, err = joinAtom(atom, facts, bindings, bound)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range atom.Vars() {
-			bound[v] = true
-		}
-		// Apply every filter whose variables are now all bound.
-		pendingFilters, bindings, err = applyFilters(pendingFilters, bindings, bound)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(pendingFilters) > 0 && len(bindings) > 0 {
-		return nil, fmt.Errorf("filters %v reference unbound variables", pendingFilters)
-	}
-
-	out := make([]Derivation, 0, len(bindings))
-	for _, bd := range bindings {
-		head := make(db.Tuple, len(cq.Head))
-		for i, h := range cq.Head {
-			head[i] = bd.vals[h]
-		}
-		out = append(out, Derivation{Tuple: head, Facts: normalizeSupport(bd.facts)})
-	}
-	return out, nil
-}
-
-// normalizeSupport sorts a binding's supporting facts by ID and removes
-// duplicates (one fact can witness several atoms of a self-join).
-func normalizeSupport(facts []*db.Fact) []*db.Fact {
-	out := make([]*db.Fact, len(facts))
-	copy(out, facts)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	w := 0
-	for i, f := range out {
-		if i > 0 && out[w-1].ID == f.ID {
-			continue
-		}
-		out[w] = f
-		w++
-	}
-	return out[:w]
-}
-
-// pickAtom greedily selects the next atom to join: the one with the most
-// bound terms (constants count as bound), breaking ties by original order.
-// This keeps intermediate binding sets small on the star-join workloads.
-// A pinned atom (the single-fact delta atom) always goes first: it is the
-// most selective join possible.
-func pickAtom(cq *query.CQ, remaining []int, bound map[string]bool, pin int) int {
-	best, bestScore := remaining[0], -1
-	for _, idx := range remaining {
-		if idx == pin {
-			return idx
-		}
-		score := 0
-		for _, t := range cq.Atoms[idx].Args {
-			if !t.IsVar() || bound[t.Var] {
-				score++
-			}
-		}
-		if score > bestScore {
-			best, bestScore = idx, score
-		}
-	}
-	return best
-}
-
-func removeInt(s []int, v int) []int {
-	out := s[:0]
-	for _, x := range s {
-		if x != v {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-// joinAtom extends each binding with every fact of the given slice
-// consistent with it. It builds a hash index on the atom positions that are
-// constants or already-bound variables (the same positions for every
-// binding, since all bindings at a stage bind the same variable set).
-func joinAtom(atom query.Atom, facts []*db.Fact, bindings []binding,
-	bound map[string]bool) ([]binding, error) {
-
-	keyPos := make([]int, 0, len(atom.Args))
-	for i, t := range atom.Args {
-		if !t.IsVar() || bound[t.Var] {
-			keyPos = append(keyPos, i)
-		}
-	}
-
-	// Index facts by the key positions.
-	index := make(map[string][]*db.Fact)
-	for _, f := range facts {
-		index[factKey(f.Tuple, keyPos)] = append(index[factKey(f.Tuple, keyPos)], f)
-	}
-
-	var out []binding
-	for _, bd := range bindings {
-		key, ok := bindingKey(atom, keyPos, bd)
-		if !ok {
-			continue
-		}
-		for _, f := range index[key] {
-			newVals, ok := extend(atom, f, bd, bound)
-			if !ok {
-				continue
-			}
-			support := make([]*db.Fact, len(bd.facts), len(bd.facts)+1)
-			copy(support, bd.facts)
-			support = append(support, f)
-			out = append(out, binding{vals: newVals, facts: support})
-		}
+		out = append(out, Derivation{Tuple: head, Facts: normalizeSupport(support)})
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -301,95 +183,4 @@ func factNode(b *circuit.Builder, f *db.Fact, opts Options) *circuit.Node {
 		return b.Variable(circuit.Var(f.ID))
 	}
 	return b.True()
-}
-
-func factKey(t db.Tuple, pos []int) string {
-	sub := make(db.Tuple, len(pos))
-	for i, p := range pos {
-		sub[i] = t[p]
-	}
-	return sub.Key()
-}
-
-// bindingKey computes the lookup key for a binding; ok is false when the
-// binding can never match (unreachable in practice since key positions are
-// bound by construction).
-func bindingKey(atom query.Atom, keyPos []int, bd binding) (string, bool) {
-	sub := make(db.Tuple, len(keyPos))
-	for i, p := range keyPos {
-		t := atom.Args[p]
-		if t.IsVar() {
-			v, ok := bd.vals[t.Var]
-			if !ok {
-				return "", false
-			}
-			sub[i] = v
-		} else {
-			sub[i] = t.Const
-		}
-	}
-	return sub.Key(), true
-}
-
-// extend matches the fact against the atom under the binding, returning the
-// extended variable map. Repeated unbound variables within the atom must
-// agree across positions.
-func extend(atom query.Atom, f *db.Fact, bd binding, bound map[string]bool) (map[string]db.Value, bool) {
-	newVals := make(map[string]db.Value, len(bd.vals)+len(atom.Args))
-	for k, v := range bd.vals {
-		newVals[k] = v
-	}
-	for i, t := range atom.Args {
-		val := f.Tuple[i]
-		if !t.IsVar() {
-			if !t.Const.Equal(val) {
-				return nil, false
-			}
-			continue
-		}
-		if prev, ok := newVals[t.Var]; ok {
-			if !prev.Equal(val) {
-				return nil, false
-			}
-			continue
-		}
-		newVals[t.Var] = val
-	}
-	return newVals, true
-}
-
-// applyFilters evaluates all filters whose variables are bound, dropping
-// failing bindings. It returns the still-pending filters and the surviving
-// bindings.
-func applyFilters(filters []query.Filter, bindings []binding, bound map[string]bool) ([]query.Filter, []binding, error) {
-	var ready, pending []query.Filter
-	for _, f := range filters {
-		ok := bound[f.Left] && (!f.Right.IsVar() || bound[f.Right.Var])
-		if ok {
-			ready = append(ready, f)
-		} else {
-			pending = append(pending, f)
-		}
-	}
-	if len(ready) == 0 {
-		return filters, bindings, nil
-	}
-	kept := bindings[:0]
-	for _, bd := range bindings {
-		pass := true
-		for _, f := range ready {
-			ok, err := f.Eval(bd.vals)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !ok {
-				pass = false
-				break
-			}
-		}
-		if pass {
-			kept = append(kept, bd)
-		}
-	}
-	return pending, kept, nil
 }

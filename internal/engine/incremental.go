@@ -3,8 +3,6 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/circuit"
 	"repro/internal/db"
@@ -138,7 +136,7 @@ func (inc *Incremental) Insert(f *db.Fact) ([]db.Tuple, error) {
 	changedSet := make(map[string]*liveAnswer)
 	for _, dv := range derivs {
 		key := dv.Tuple.Key()
-		dkey := derivKey(dv.Facts)
+		dkey := supportKey(dv.Facts)
 		if a, ok := inc.answers[key]; ok {
 			if _, dup := a.derivs[dkey]; dup {
 				continue
@@ -212,7 +210,7 @@ func (inc *Incremental) addDerivation(dv Derivation) *liveAnswer {
 		a = &liveAnswer{tuple: dv.Tuple, derivs: make(map[string][]*db.Fact), epoch: inc.epoch}
 		inc.answers[key] = a
 	}
-	dkey := derivKey(dv.Facts)
+	dkey := supportKey(dv.Facts)
 	if _, dup := a.derivs[dkey]; dup {
 		return a
 	}
@@ -266,16 +264,4 @@ func (inc *Incremental) Answers() []Answer {
 		out[i] = a.Answer
 	}
 	return out
-}
-
-// derivKey renders a support set (sorted by fact ID) as a map key.
-func derivKey(facts []*db.Fact) string {
-	var sb strings.Builder
-	for i, f := range facts {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.Itoa(int(f.ID)))
-	}
-	return sb.String()
 }

@@ -105,7 +105,7 @@ func TestIncrementalMatchesEvalUnderRandomUpdates(t *testing.T) {
 						// Delete a random live fact.
 						var ids []db.FactID
 						for _, name := range d.RelationNames() {
-							for _, f := range d.Relation(name).Facts {
+							for _, f := range d.Relation(name).Facts() {
 								ids = append(ids, f.ID)
 							}
 						}

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/db"
+)
+
+// Support-set canonicalization shared by the one-shot evaluator and the
+// incremental layer. A derivation's identity is exactly its support set —
+// the sorted, deduplicated facts its witnessing join used — so both layers
+// must agree on one normal form and one key encoding; these two functions
+// are that single definition (previously engine.normalizeSupport and
+// incremental's derivKey each hand-rolled their own).
+
+// normalizeSupport sorts a derivation's supporting facts by ID and removes
+// duplicates (one fact can witness several atoms of a self-join).
+func normalizeSupport(facts []*db.Fact) []*db.Fact {
+	out := make([]*db.Fact, len(facts))
+	copy(out, facts)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	w := 0
+	for i, f := range out {
+		if i > 0 && out[w-1].ID == f.ID {
+			continue
+		}
+		out[w] = f
+		w++
+	}
+	return out[:w]
+}
+
+// supportKey encodes a normalized support set (sorted by ID, no
+// duplicates — the form normalizeSupport returns and Derivation.Facts
+// carries) as a compact map key: uvarint deltas of the fact IDs, no
+// per-fact string formatting.
+func supportKey(facts []*db.Fact) string {
+	buf := make([]byte, 0, 2*len(facts))
+	prev := uint64(0)
+	for _, f := range facts {
+		id := uint64(f.ID)
+		buf = binary.AppendUvarint(buf, id-prev)
+		prev = id
+	}
+	return string(buf)
+}

@@ -8,10 +8,10 @@ import (
 
 func TestBuildStructure(t *testing.T) {
 	d, fs := Build()
-	if got := len(d.Relation("Flights").Facts); got != 8 {
+	if got := len(d.Relation("Flights").Facts()); got != 8 {
 		t.Errorf("flights = %d, want 8", got)
 	}
-	if got := len(d.Relation("Airports").Facts); got != 8 {
+	if got := len(d.Relation("Airports").Facts()); got != 8 {
 		t.Errorf("airports = %d, want 8", got)
 	}
 	if d.NumEndogenous() != 8 {
@@ -26,7 +26,7 @@ func TestBuildStructure(t *testing.T) {
 	if !fs.A[1].Tuple.Equal(db.Tuple{db.String("JFK"), db.String("CDG")}) {
 		t.Errorf("a1 = %v, want (JFK, CDG)", fs.A[1].Tuple)
 	}
-	for _, f := range d.Relation("Airports").Facts {
+	for _, f := range d.Relation("Airports").Facts() {
 		if f.Endogenous {
 			t.Fatalf("airport fact %v marked endogenous", f)
 		}

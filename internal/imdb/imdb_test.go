@@ -15,7 +15,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatalf("same seed produced %d vs %d facts", a.NumFacts(), b.NumFacts())
 	}
 	for _, rel := range a.RelationNames() {
-		fa, fb := a.Relation(rel).Facts, b.Relation(rel).Facts
+		fa, fb := a.Relation(rel).Facts(), b.Relation(rel).Facts()
 		if len(fa) != len(fb) {
 			t.Fatalf("%s: %d vs %d facts", rel, len(fa), len(fb))
 		}
@@ -34,7 +34,7 @@ func TestEndogenousRoles(t *testing.T) {
 		"movie_keyword": true, "movie_info": true,
 	}
 	for _, rel := range d.RelationNames() {
-		for _, f := range d.Relation(rel).Facts {
+		for _, f := range d.Relation(rel).Facts() {
 			if f.Endogenous != endoRels[rel] {
 				t.Fatalf("%s fact endogenous=%v, want %v", rel, f.Endogenous, endoRels[rel])
 			}
@@ -45,32 +45,32 @@ func TestEndogenousRoles(t *testing.T) {
 func TestForeignKeyIntegrity(t *testing.T) {
 	d := Generate(DefaultConfig())
 	movies := map[int64]bool{}
-	for _, f := range d.Relation("title").Facts {
+	for _, f := range d.Relation("title").Facts() {
 		movies[f.Tuple[0].AsInt()] = true
 	}
 	people := map[int64]bool{}
-	for _, f := range d.Relation("name").Facts {
+	for _, f := range d.Relation("name").Facts() {
 		people[f.Tuple[0].AsInt()] = true
 	}
 	companies := map[int64]bool{}
-	for _, f := range d.Relation("company_name").Facts {
+	for _, f := range d.Relation("company_name").Facts() {
 		companies[f.Tuple[0].AsInt()] = true
 	}
 	keywords := map[int64]bool{}
-	for _, f := range d.Relation("keyword").Facts {
+	for _, f := range d.Relation("keyword").Facts() {
 		keywords[f.Tuple[0].AsInt()] = true
 	}
-	for _, f := range d.Relation("cast_info").Facts {
+	for _, f := range d.Relation("cast_info").Facts() {
 		if !people[f.Tuple[0].AsInt()] || !movies[f.Tuple[1].AsInt()] {
 			t.Fatalf("cast_info dangling reference: %v", f.Tuple)
 		}
 	}
-	for _, f := range d.Relation("movie_companies").Facts {
+	for _, f := range d.Relation("movie_companies").Facts() {
 		if !movies[f.Tuple[0].AsInt()] || !companies[f.Tuple[1].AsInt()] {
 			t.Fatalf("movie_companies dangling reference: %v", f.Tuple)
 		}
 	}
-	for _, f := range d.Relation("movie_keyword").Facts {
+	for _, f := range d.Relation("movie_keyword").Facts() {
 		if !movies[f.Tuple[0].AsInt()] || !keywords[f.Tuple[1].AsInt()] {
 			t.Fatalf("movie_keyword dangling reference: %v", f.Tuple)
 		}

@@ -136,6 +136,13 @@ func (f Filter) Eval(binding map[string]db.Value) (bool, error) {
 	} else {
 		r = f.Right.Const
 	}
+	return f.EvalValues(l, r)
+}
+
+// EvalValues evaluates the filter's comparison on already-resolved operand
+// values. The streaming evaluator resolves variables to registers at plan
+// time and calls this directly, skipping the binding-map lookups of Eval.
+func (f Filter) EvalValues(l, r db.Value) (bool, error) {
 	switch f.Op {
 	case OpEq:
 		return l.Compare(r) == 0, nil

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -314,7 +315,7 @@ func resolveFact(d *repro.Database, del wire.DeleteSpec) (repro.FactID, error) {
 	if rel == nil {
 		return 0, fmt.Errorf("server: %w %q", repro.ErrUnknownRelation, del.Relation)
 	}
-	for _, f := range rel.Facts {
+	for _, f := range rel.Facts() {
 		if f.Tuple.Equal(want) {
 			return f.ID, nil
 		}
@@ -345,6 +346,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
+	names := make([]string, 0, len(s.cfg.Datasets))
+	for name := range s.cfg.Datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	datasets := make([]wire.DatasetStats, len(names))
+	for i, name := range names {
+		d := s.cfg.Datasets[name]
+		lock := s.locks[name]
+		lock.RLock()
+		datasets[i] = wire.DatasetStats{Name: name, Backend: d.Backend(), Facts: d.NumFacts()}
+		lock.RUnlock()
+	}
 	snap := s.rec.Snapshot()
 	routes := make([]wire.RouteStats, len(snap))
 	for i, rs := range snap {
@@ -365,6 +379,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Pool:      s.pool.Stats(),
 		Cache:     wire.FromCacheStats(repro.CompileCacheStats()),
 		Routes:    routes,
+		Datasets:  datasets,
 	})
 }
 

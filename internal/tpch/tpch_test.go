@@ -15,7 +15,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatalf("same seed produced %d vs %d facts", a.NumFacts(), b.NumFacts())
 	}
 	for _, rel := range a.RelationNames() {
-		fa, fb := a.Relation(rel).Facts, b.Relation(rel).Facts
+		fa, fb := a.Relation(rel).Facts(), b.Relation(rel).Facts()
 		if len(fa) != len(fb) {
 			t.Fatalf("%s: %d vs %d facts", rel, len(fa), len(fb))
 		}
@@ -45,7 +45,7 @@ func TestEndogenousRoles(t *testing.T) {
 	d := Generate(DefaultConfig())
 	endoRels := map[string]bool{"lineitem": true, "orders": true, "partsupp": true}
 	for _, rel := range d.RelationNames() {
-		for _, f := range d.Relation(rel).Facts {
+		for _, f := range d.Relation(rel).Facts() {
 			if f.Endogenous != endoRels[rel] {
 				t.Fatalf("%s fact endogenous=%v, want %v", rel, f.Endogenous, endoRels[rel])
 			}
@@ -56,22 +56,22 @@ func TestEndogenousRoles(t *testing.T) {
 func TestForeignKeyIntegrity(t *testing.T) {
 	d := Generate(DefaultConfig())
 	orders := map[int64]bool{}
-	for _, f := range d.Relation("orders").Facts {
+	for _, f := range d.Relation("orders").Facts() {
 		orders[f.Tuple[0].AsInt()] = true
 	}
 	parts := map[int64]bool{}
-	for _, f := range d.Relation("part").Facts {
+	for _, f := range d.Relation("part").Facts() {
 		parts[f.Tuple[0].AsInt()] = true
 	}
 	supps := map[int64]bool{}
-	for _, f := range d.Relation("supplier").Facts {
+	for _, f := range d.Relation("supplier").Facts() {
 		supps[f.Tuple[0].AsInt()] = true
 	}
 	custs := map[int64]bool{}
-	for _, f := range d.Relation("customer").Facts {
+	for _, f := range d.Relation("customer").Facts() {
 		custs[f.Tuple[0].AsInt()] = true
 	}
-	for _, f := range d.Relation("lineitem").Facts {
+	for _, f := range d.Relation("lineitem").Facts() {
 		if !orders[f.Tuple[0].AsInt()] {
 			t.Fatalf("lineitem references missing order %v", f.Tuple[0])
 		}
@@ -82,7 +82,7 @@ func TestForeignKeyIntegrity(t *testing.T) {
 			t.Fatalf("lineitem references missing supplier %v", f.Tuple[2])
 		}
 	}
-	for _, f := range d.Relation("orders").Facts {
+	for _, f := range d.Relation("orders").Facts() {
 		if !custs[f.Tuple[1].AsInt()] {
 			t.Fatalf("order references missing customer %v", f.Tuple[1])
 		}
@@ -97,10 +97,10 @@ func TestDatesValid(t *testing.T) {
 			t.Fatalf("%s date %d is not a valid YYYYMMDD", what, v)
 		}
 	}
-	for _, f := range d.Relation("orders").Facts {
+	for _, f := range d.Relation("orders").Facts() {
 		check(f.Tuple[4].AsInt(), "order")
 	}
-	for _, f := range d.Relation("lineitem").Facts {
+	for _, f := range d.Relation("lineitem").Facts() {
 		ship := f.Tuple[7].AsInt()
 		check(ship, "ship")
 	}
@@ -109,10 +109,10 @@ func TestDatesValid(t *testing.T) {
 func TestShipAfterOrder(t *testing.T) {
 	d := Generate(DefaultConfig())
 	orderDate := map[int64]int64{}
-	for _, f := range d.Relation("orders").Facts {
+	for _, f := range d.Relation("orders").Facts() {
 		orderDate[f.Tuple[0].AsInt()] = f.Tuple[4].AsInt()
 	}
-	for _, f := range d.Relation("lineitem").Facts {
+	for _, f := range d.Relation("lineitem").Facts() {
 		if f.Tuple[7].AsInt() <= orderDate[f.Tuple[0].AsInt()] {
 			t.Fatalf("lineitem shipped (%d) on or before its order date (%d)",
 				f.Tuple[7].AsInt(), orderDate[f.Tuple[0].AsInt()])
@@ -132,7 +132,7 @@ func TestScaled(t *testing.T) {
 	}
 	small := Generate(half)
 	full := Generate(base)
-	if len(small.Relation("lineitem").Facts) >= len(full.Relation("lineitem").Facts) {
+	if len(small.Relation("lineitem").Facts()) >= len(full.Relation("lineitem").Facts()) {
 		t.Error("scaling did not reduce lineitem count")
 	}
 }

@@ -199,10 +199,19 @@ type RouteStats struct {
 // the process-wide compilation-cache counters and per-route request
 // latency/throughput.
 type StatsResponse struct {
-	UptimeSec float64      `json:"uptime_sec"`
-	Pool      PoolStats    `json:"pool"`
-	Cache     CacheStats   `json:"cache"`
-	Routes    []RouteStats `json:"routes"`
+	UptimeSec float64        `json:"uptime_sec"`
+	Pool      PoolStats      `json:"pool"`
+	Cache     CacheStats     `json:"cache"`
+	Routes    []RouteStats   `json:"routes"`
+	Datasets  []DatasetStats `json:"datasets,omitempty"`
+}
+
+// DatasetStats describes one served dataset: its size and the storage
+// backend its database runs on.
+type DatasetStats struct {
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	Facts   int    `json:"facts"`
 }
 
 // EncodeValue renders a database value as a JSON-encodable scalar. Floats

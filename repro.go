@@ -82,8 +82,40 @@ var (
 	ErrArity           = db.ErrArity
 )
 
+// Storage backend names for Options.Storage and NewDatabaseOn.
+const (
+	// BackendMemory is the default in-memory backend: facts in insertion
+	// order, lazily built hash indexes per join pattern.
+	BackendMemory = db.BackendMemory
+	// BackendSorted keeps each relation in a B-tree ordered by a
+	// sort-preserving tuple encoding, with optional persistence to a
+	// directory (see NewDatabaseOn and OpenDatabase).
+	BackendSorted = db.BackendSorted
+)
+
+// Backends returns the available storage backend names.
+func Backends() []string { return db.Backends() }
+
 // NewDatabase returns an empty database.
 func NewDatabase() *Database { return db.New() }
+
+// NewDatabaseOn returns an empty database on the named storage backend
+// ("" or BackendMemory for the default, BackendSorted for ordered
+// storage). A non-empty dir makes a sorted database persistent: every
+// schema change and mutation is logged under dir, and OpenDatabase
+// reloads it.
+func NewDatabaseOn(backend, dir string) (*Database, error) {
+	return db.NewOnBackend(backend, dir)
+}
+
+// OpenDatabase reloads a database persisted by NewDatabaseOn(BackendSorted,
+// dir): facts keep their IDs and endogenous flags, and the database resumes
+// logging to the same directory. Close it to flush the log.
+func OpenDatabase(dir string) (*Database, error) { return db.OpenSorted(dir) }
+
+// DatabasePersisted reports whether dir holds a dataset persisted by a
+// previous run, i.e. whether OpenDatabase would restore any state from it.
+func DatabasePersisted(dir string) bool { return db.Persisted(dir) }
 
 // ParseQuery parses a datalog-style UCQ; see internal/query for the syntax.
 func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
@@ -163,6 +195,20 @@ type Options struct {
 	// and the literal per-fact algorithm otherwise; both produce identical
 	// exact values.
 	Strategy ShapleyStrategy
+	// Storage names the storage backend for databases built from these
+	// options ("" or BackendMemory for in-memory, BackendSorted for ordered
+	// storage). Sessions evaluate over whatever backend their database
+	// already uses; Storage is validated here so services and CLIs that
+	// construct databases from an Options value (internal/server, shapleyd)
+	// reject a typoed backend name at the API boundary.
+	Storage string
+	// IndexBudget bounds the lazily built secondary join indexes each
+	// relation keeps, one per (relation, bound-positions) lookup pattern.
+	// Zero keeps the backend's default; lookups past the budget fall back
+	// to filtered scans (correct, just slower). Negative values are
+	// invalid — use a large budget rather than "unbounded" to keep
+	// adversarial query mixes from holding an index per pattern.
+	IndexBudget int
 }
 
 // Validate checks the options for values no pipeline configuration accepts
@@ -183,6 +229,11 @@ func (o Options) Validate() error {
 		return fmt.Errorf("repro: Options.CompileWorkers = %d is invalid; use 0 to inherit the per-tuple share, -1 for GOMAXPROCS, or a positive count", o.CompileWorkers)
 	case o.CacheSize < -1:
 		return fmt.Errorf("repro: Options.CacheSize = %d is invalid; use 0 for the default capacity, -1 to disable caching, or a positive capacity", o.CacheSize)
+	case o.IndexBudget < 0:
+		return fmt.Errorf("repro: Options.IndexBudget is negative (%d); use 0 for the backend default or a positive per-relation cap", o.IndexBudget)
+	}
+	if !db.KnownBackend(o.Storage) {
+		return fmt.Errorf("repro: Options.Storage = %q is not a known backend (known: %v)", o.Storage, db.Backends())
 	}
 	switch o.Strategy {
 	case StrategyAuto, StrategyPerFact, StrategyGradient:

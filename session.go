@@ -117,6 +117,9 @@ func Open(d *Database, q *Query, opts Options) (*Session, error) {
 // database, dropping all cached artifacts. Callers hold s.mu (or own s
 // exclusively, as Open does).
 func (s *Session) ground() error {
+	if s.opts.IndexBudget > 0 {
+		s.d.SetIndexBudget(s.opts.IndexBudget)
+	}
 	s.cb = circuit.NewBuilder()
 	inc, err := engine.NewIncremental(s.d, s.q, s.cb, engine.Options{Mode: engine.ModeEndogenous})
 	if err != nil {

@@ -63,9 +63,9 @@ func TestSessionMatchesColdExplainUnderUpdates(t *testing.T) {
 	}
 	sessionOpts := []Options{
 		{Workers: 1, CacheSize: -1},
-		{Workers: 4, CacheSize: 32},
+		{Workers: 4, CacheSize: 32, IndexBudget: 2},
 		{Workers: 2, CacheSize: 32, Strategy: StrategyPerFact},
-		{CacheSize: 32, Strategy: StrategyGradient},
+		{CacheSize: 32, Strategy: StrategyGradient, Storage: BackendSorted},
 	}
 	for qi, text := range queries {
 		t.Run(fmt.Sprintf("q%d", qi), func(t *testing.T) {
@@ -75,7 +75,16 @@ func TestSessionMatchesColdExplainUnderUpdates(t *testing.T) {
 				t.Fatal(err)
 			}
 			for trial := 0; trial < 4; trial++ {
+				// Alternate storage backends across trials: the update
+				// interleaving property must hold identically when the
+				// session's database lives on the sorted store.
 				d := NewDatabase()
+				if trial%2 == 1 {
+					var err error
+					if d, err = NewDatabaseOn(BackendSorted, ""); err != nil {
+						t.Fatal(err)
+					}
+				}
 				d.CreateRelation("R", "a", "b")
 				d.CreateRelation("S", "a", "b")
 				d.CreateRelation("T", "a")
@@ -101,7 +110,7 @@ func TestSessionMatchesColdExplainUnderUpdates(t *testing.T) {
 					if rng.Intn(2) == 0 && d.NumFacts() > 0 {
 						var ids []FactID
 						for _, name := range d.RelationNames() {
-							for _, f := range d.Relation(name).Facts {
+							for _, f := range d.Relation(name).Facts() {
 								ids = append(ids, f.ID)
 							}
 						}
@@ -307,6 +316,8 @@ func TestOptionsValidation(t *testing.T) {
 		{Options{CompileWorkers: -2}, "CompileWorkers"},
 		{Options{CacheSize: -2}, "CacheSize"},
 		{Options{Strategy: ShapleyStrategy(99)}, "Strategy"},
+		{Options{Storage: "lsm"}, "Storage"},
+		{Options{IndexBudget: -1}, "IndexBudget"},
 	}
 	for _, tc := range cases {
 		if _, err := Explain(context.Background(), d, q, tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -317,7 +328,12 @@ func TestOptionsValidation(t *testing.T) {
 		}
 	}
 	// The documented sentinels stay valid.
-	for _, opts := range []Options{{CompileWorkers: -1, CacheSize: -1}, {}} {
+	for _, opts := range []Options{
+		{CompileWorkers: -1, CacheSize: -1},
+		{Storage: BackendSorted, IndexBudget: 4},
+		{Storage: BackendMemory},
+		{},
+	} {
 		if err := opts.Validate(); err != nil {
 			t.Errorf("Validate(%+v) = %v, want nil", opts, err)
 		}
