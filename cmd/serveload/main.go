@@ -77,6 +77,7 @@ func main() {
 			h.Clients, h.PooledP50Ms, h.UnpooledP50Ms, h.P50Speedup,
 			h.PooledRPS, h.UnpooledRPS, h.ThroughputSpeedup)
 	}
+	fmt.Printf("client retries on 429/503: %d\n", rep.Retries)
 	fmt.Printf("session pool: opens=%d reuses=%d evictions=%d update requests=%d batches=%d coalesced=%d\n",
 		rep.Pool.Opens, rep.Pool.Reuses, rep.Pool.Evictions,
 		rep.Pool.UpdateRequests, rep.Pool.UpdateBatches, rep.Pool.CoalescedBatches)

@@ -54,6 +54,9 @@ func main() {
 		store    = flag.String("store", "", "storage backend for served datasets: memory (default) or sorted")
 		storeDir = flag.String("store-dir", "", "with -store sorted: persist each dataset under <dir>/<name> (reloaded on restart)")
 		indexes  = flag.Int("indexes", 0, "per-relation secondary-index budget (0 = backend default)")
+		fsync    = flag.String("fsync", "every", "WAL sync policy for persistent stores: always, every, every=N, or onclose")
+		reqTO    = flag.Duration("request-timeout", 0, "per-request deadline for explain/update (0 = none); expired requests get 504")
+		inflight = flag.Int("max-inflight", 0, "max concurrently executing requests per work route (0 = unbounded); excess sheds with 429 + Retry-After")
 	)
 	flag.Parse()
 
@@ -61,10 +64,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("shapleyd: %v", err)
 	}
+	syncPolicy, err := repro.ParseSyncPolicy(*fsync)
+	if err != nil {
+		log.Fatalf("shapleyd: %v", err)
+	}
 
 	cfg := server.Config{
-		Datasets: make(map[string]*repro.Database),
-		PoolSize: *poolSize,
+		Datasets:       make(map[string]*repro.Database),
+		PoolSize:       *poolSize,
+		RequestTimeout: *reqTO,
+		MaxInFlight:    *inflight,
 		Options: repro.Options{
 			Timeout:          *timeout,
 			Workers:          *workers,
@@ -112,9 +121,16 @@ func main() {
 				}
 			}
 			if dir != "" && repro.DatabasePersisted(dir) {
-				pd, err := repro.OpenDatabase(dir)
+				pd, info, err := repro.OpenDatabaseInfo(dir, syncPolicy)
 				if err != nil {
 					log.Fatalf("shapleyd: reloading %s from %s: %v", name, dir, err)
+				}
+				if info.Truncated {
+					log.Printf("dataset %s: recovered %d snapshot + %d WAL records; dropped %d bytes of torn WAL tail",
+						name, info.SnapshotRecords, info.LogRecords, info.DroppedBytes)
+				} else {
+					log.Printf("dataset %s: recovered %d snapshot + %d WAL records (no torn tail)",
+						name, info.SnapshotRecords, info.LogRecords)
 				}
 				d = pd
 			} else {
@@ -123,6 +139,9 @@ func main() {
 					log.Fatalf("shapleyd: migrating %s to %s: %v", name, *store, err)
 				}
 				d = md
+				if err := d.SetSyncPolicy(syncPolicy); err != nil {
+					log.Fatalf("shapleyd: %v", err)
+				}
 			}
 		}
 		if *indexes > 0 {
@@ -138,7 +157,22 @@ func main() {
 		log.Fatalf("shapleyd: %v", err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// Server-level I/O deadlines: slow or stalled clients cannot hold a
+	// connection open indefinitely. The write timeout leaves the handler's
+	// own -request-timeout room to respond (a generous ceiling when no
+	// per-request deadline is set).
+	writeTO := 5 * time.Minute
+	if *reqTO > 0 {
+		writeTO = *reqTO + 30*time.Second
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTO,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

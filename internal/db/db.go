@@ -29,6 +29,11 @@ var (
 	ErrNoFact = errors.New("no fact")
 	// ErrArity means a value list does not match the relation's schema.
 	ErrArity = errors.New("arity mismatch")
+	// ErrDegraded means the database is read-only because a storage write
+	// failed (full disk, dead file handle): reads and explanations keep
+	// working against the consistent in-memory state, but every further
+	// mutation is refused so memory never drifts ahead of the durable log.
+	ErrDegraded = errors.New("database degraded (read-only after storage failure)")
 )
 
 // Kind enumerates the value types supported by the engine.
@@ -284,6 +289,11 @@ type Database struct {
 	facts     map[FactID]*Fact
 	nextID    FactID
 	epoch     uint64
+	// degraded is the sticky first storage failure. Once set, the database
+	// is read-only: the in-memory state is still consistent (failed
+	// mutations were rolled back by the store), but accepting more writes
+	// would let memory diverge from what a restart recovers.
+	degraded error
 }
 
 // dbCounter mints process-unique database identities.
@@ -314,44 +324,116 @@ func NewOnBackend(backend, dir string) (*Database, error) {
 	return NewWithStore(s), nil
 }
 
-// OpenSorted reloads a database persisted by a sorted store: it replays the
-// mutation log under dir — schema creations, inserts (original fact IDs and
-// endogenous flags preserved), deletes — and resumes appending to the same
-// log, so the reloaded database continues exactly where the writer left
-// off.
+// OpenSorted reloads a database persisted by a sorted store; see
+// OpenSortedConfig. It keeps the historical one-result signature for
+// callers that don't care about recovery details.
 func OpenSorted(dir string) (*Database, error) {
-	recs, err := readLog(dir)
+	d, _, err := OpenSortedConfig(SortedConfig{Dir: dir})
+	return d, err
+}
+
+// OpenSortedConfig reloads a database persisted by a sorted store: it
+// replays the snapshot (if any) and then the mutation log under cfg.Dir —
+// schema creations, inserts (original fact IDs and endogenous flags
+// preserved), deletes — and resumes appending to the same log, so the
+// reloaded database continues exactly where the writer left off.
+//
+// Recovery is crash-tolerant: a torn or corrupt log suffix (the signature
+// of a crash mid-append) is truncated and reported in RecoveryInfo rather
+// than failing the load, so the database reopens at the last
+// prefix-consistent state. Pre-WAL JSONL logs are detected, replayed, and
+// compacted into the current format.
+func OpenSortedConfig(cfg SortedConfig) (*Database, RecoveryInfo, error) {
+	var info RecoveryInfo
+	if cfg.Dir == "" {
+		return nil, info, fmt.Errorf("db: OpenSorted needs a directory")
+	}
+	if err := cfg.Sync.Validate(); err != nil {
+		return nil, info, err
+	}
+	snapRecs, logRecs, info, legacy, err := readStoreState(cfg.Dir)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	st := &sortedStore{
 		relations: make(map[string]*sortedRelation),
 		budget:    DefaultIndexBudget,
-		dir:       dir,
+		dir:       cfg.Dir,
+		sync:      cfg.Sync,
+		openFile:  cfg.openFunc(),
 	}
 	d := NewWithStore(st)
-	for i, rec := range recs {
-		switch rec.Op {
-		case "R":
-			d.CreateRelation(rec.Rel, rec.Cols...)
-		case "I":
-			f := &Fact{ID: rec.ID, Relation: rec.Rel, Tuple: rec.tuple(), Endogenous: rec.Endo}
-			if err := d.restoreFact(f); err != nil {
-				return nil, fmt.Errorf("db: replaying %s record %d: %w", logName, i, err)
-			}
-		case "D":
-			if err := d.Delete(rec.ID); err != nil {
-				return nil, fmt.Errorf("db: replaying %s record %d: %w", logName, i, err)
-			}
-		default:
-			return nil, fmt.Errorf("db: replaying %s record %d: unknown op %q", logName, i, rec.Op)
+	for i, rec := range snapRecs {
+		if err := d.applyLogRecord(rec, false); err != nil {
+			return nil, info, fmt.Errorf("db: replaying %s record %d: %w", snapName, i, err)
 		}
 	}
-	if err := st.openLog(); err != nil {
-		return nil, err
+	// With a snapshot present the log is replayed idempotently: a crash
+	// between a compaction's atomic rename and its log truncation leaves a
+	// stale log whose records are already in the snapshot, and skipping
+	// the duplicates is exactly the right recovery.
+	lenient := len(snapRecs) > 0
+	for i, rec := range logRecs {
+		if err := d.applyLogRecord(rec, lenient); err != nil {
+			return nil, info, fmt.Errorf("db: replaying %s record %d: %w", logName, i, err)
+		}
+	}
+	if err := st.openLog(0); err != nil {
+		return nil, info, err
 	}
 	st.logging = true
-	return d, nil
+	st.walRecords = len(logRecs)
+	if legacy {
+		// Rewrite the pre-WAL JSONL log as snapshot + empty framed log so
+		// subsequent appends don't mix formats in one file.
+		if err := d.Compact(); err != nil {
+			d.Close()
+			return nil, info, fmt.Errorf("db: migrating legacy log: %w", err)
+		}
+	}
+	return d, info, nil
+}
+
+// applyLogRecord replays one snapshot or WAL record. In lenient mode,
+// records whose effect is already present (relation exists, fact ID live,
+// fact already gone) are skipped: replaying a stale log over a snapshot
+// that subsumes it must be idempotent.
+func (d *Database) applyLogRecord(rec logRecord, lenient bool) error {
+	switch rec.Op {
+	case "M":
+		if rec.ID > d.nextID {
+			d.nextID = rec.ID
+		}
+		return nil
+	case "R":
+		if _, ok := d.relations[rec.Rel]; ok {
+			if lenient {
+				return nil
+			}
+			return fmt.Errorf("db: relation %q created twice", rec.Rel)
+		}
+		d.CreateRelation(rec.Rel, rec.Cols...)
+		return d.Err()
+	case "I":
+		if d.facts[rec.ID] != nil {
+			if lenient {
+				return nil
+			}
+			return fmt.Errorf("db: fact ID %d inserted twice", rec.ID)
+		}
+		f := &Fact{ID: rec.ID, Relation: rec.Rel, Tuple: rec.tuple(), Endogenous: rec.Endo}
+		return d.restoreFact(f)
+	case "D":
+		if d.facts[rec.ID] == nil {
+			if lenient {
+				return nil
+			}
+			return fmt.Errorf("db: %w with ID %d", ErrNoFact, rec.ID)
+		}
+		return d.Delete(rec.ID)
+	default:
+		return fmt.Errorf("db: unknown op %q", rec.Op)
+	}
 }
 
 // restoreFact inserts a fully formed fact (ID already assigned) during log
@@ -365,7 +447,9 @@ func (d *Database) restoreFact(f *Fact) error {
 		return fmt.Errorf("db: relation %q has arity %d, got %d values: %w",
 			f.Relation, rel.Schema.Arity(), len(f.Tuple), ErrArity)
 	}
-	d.store.Insert(f)
+	if err := d.store.Insert(f); err != nil {
+		return err
+	}
 	d.facts[f.ID] = f
 	if f.ID >= d.nextID {
 		d.nextID = f.ID + 1
@@ -386,6 +470,116 @@ func (d *Database) SetIndexBudget(n int) { d.store.SetIndexBudget(n) }
 // mutation log of a persistent sorted store; a no-op for memory).
 func (d *Database) Close() error { return d.store.Close() }
 
+// Err returns the sticky storage failure that put the database in
+// read-only (degraded) mode, or nil while it is healthy. Degraded
+// databases still serve reads and explanations; mutations return this
+// error (wrapping ErrDegraded) until the process restarts and recovers.
+func (d *Database) Err() error {
+	if d.degraded == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrDegraded, d.degraded)
+}
+
+// degrade records the first storage failure; later failures keep the
+// original cause.
+func (d *Database) degrade(err error) {
+	if d.degraded == nil {
+		d.degraded = err
+	}
+}
+
+// Sync forces any buffered WAL records to stable storage regardless of
+// the store's sync policy (no-op for non-persistent backends).
+func (d *Database) Sync() error {
+	type syncer interface{ Sync() error }
+	if s, ok := d.store.(syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// SetSyncPolicy changes a persistent sorted store's WAL durability policy
+// in place; it is a validated no-op for other backends.
+func (d *Database) SetSyncPolicy(p SyncPolicy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if st, ok := d.store.(*sortedStore); ok {
+		st.sync = p
+		if st.wal != nil {
+			st.wal.policy = p
+		}
+	}
+	return nil
+}
+
+// Compaction heuristics: a persistent sorted store compacts when its log
+// holds at least compactMinRecords records AND more than compactFactor
+// times the live data (facts + schemas). The first bound keeps small
+// datasets from snapshotting constantly; the second bounds reopen replay
+// to O(live facts) no matter how much churn the log has absorbed.
+const (
+	compactMinRecords = 1024
+	compactFactor     = 4
+)
+
+// Compact snapshots the database's live state (schemas in creation order,
+// facts in ID order, next-ID watermark) into snapshot.log via an atomic
+// tmp-fsync-rename, then truncates the mutation log. A no-op for
+// non-persistent backends. On a failure that leaves the store unable to
+// append, the database degrades (data on disk stays consistent).
+func (d *Database) Compact() error {
+	st, ok := d.store.(*sortedStore)
+	if !ok || !st.logging || d.degraded != nil {
+		return nil
+	}
+	if err := st.snapshot(d.snapshotRecords()); err != nil {
+		if st.wal == nil {
+			d.degrade(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// maybeCompact runs Compact when the log has outgrown the live data. A
+// compaction failure is not surfaced through the (already successful)
+// mutation that triggered it: either the store kept its log and will
+// retry later, or it lost the log and the database just degraded — the
+// next mutation reports that.
+func (d *Database) maybeCompact() {
+	st, ok := d.store.(*sortedStore)
+	if !ok || !st.logging {
+		return
+	}
+	live := len(d.facts) + len(d.order) + 1
+	if st.walRecords >= compactMinRecords && st.walRecords > compactFactor*live {
+		_ = d.Compact()
+	}
+}
+
+// snapshotRecords materializes the database as snapshot records: the
+// next-ID watermark (IDs are never reused, even across snapshots), every
+// schema in creation order, every live fact in ID order.
+func (d *Database) snapshotRecords() []logRecord {
+	recs := make([]logRecord, 0, 1+len(d.order)+len(d.facts))
+	recs = append(recs, logRecord{Op: "M", ID: d.nextID})
+	for _, name := range d.order {
+		rel := d.relations[name]
+		recs = append(recs, logRecord{Op: "R", Rel: name, Cols: rel.Schema.Columns})
+	}
+	facts := make([]*Fact, 0, len(d.facts))
+	for _, f := range d.facts {
+		facts = append(facts, f)
+	}
+	sort.Slice(facts, func(i, j int) bool { return facts[i].ID < facts[j].ID })
+	for _, f := range facts {
+		recs = append(recs, insertRecord(f))
+	}
+	return recs
+}
+
 // ID returns a process-unique identity for the database. Fact IDs are only
 // unique within one database, so anything keying global state by fact ID —
 // the compile cache's fact-set invalidation, for one — scopes it by this
@@ -394,15 +588,24 @@ func (d *Database) ID() uint64 { return d.id }
 
 // CreateRelation registers a new relation with the given schema. It panics
 // if the relation already exists: schema setup errors are programming
-// errors, not runtime conditions.
+// errors, not runtime conditions. A storage failure (persistent store
+// unable to log the schema) does not register the relation and degrades
+// the database; check Err when creating relations against persistent
+// stores at runtime.
 func (d *Database) CreateRelation(name string, columns ...string) {
 	if _, ok := d.relations[name]; ok {
 		panic(fmt.Sprintf("db: relation %q already exists", name))
 	}
+	if d.degraded != nil {
+		return
+	}
 	schema := Schema{Name: name, Columns: columns}
+	if err := d.store.CreateRelation(schema); err != nil {
+		d.degrade(err)
+		return
+	}
 	d.relations[name] = &Relation{Schema: schema, store: d.store}
 	d.order = append(d.order, name)
-	d.store.CreateRelation(schema)
 }
 
 // Relation returns the named relation, or nil if absent.
@@ -418,6 +621,9 @@ func (d *Database) RelationNames() []string {
 // Insert adds a fact to the named relation and returns it. Endogenous facts
 // participate in Shapley attribution; exogenous facts are taken as given.
 func (d *Database) Insert(relation string, endogenous bool, values ...Value) (*Fact, error) {
+	if d.degraded != nil {
+		return nil, d.Err()
+	}
 	rel, ok := d.relations[relation]
 	if !ok {
 		return nil, fmt.Errorf("db: %w %q", ErrUnknownRelation, relation)
@@ -433,10 +639,17 @@ func (d *Database) Insert(relation string, endogenous bool, values ...Value) (*F
 		Endogenous: endogenous,
 	}
 	d.nextID++
-	d.store.Insert(f)
+	if err := d.store.Insert(f); err != nil {
+		// The store rolled the mutation back; nextID stays monotone (a
+		// burned ID is cheaper than risking aliasing) and the database
+		// goes read-only so memory can't outrun the durable log.
+		d.degrade(err)
+		return nil, d.Err()
+	}
 	d.facts[f.ID] = f
 	rel.epoch++
 	d.epoch++
+	d.maybeCompact()
 	return f, nil
 }
 
@@ -444,15 +657,22 @@ func (d *Database) Insert(relation string, endogenous bool, values ...Value) (*F
 // nextID is monotone, so a deleted ID stays free forever and provenance
 // variables of past explanations can never alias a later fact.
 func (d *Database) Delete(id FactID) error {
+	if d.degraded != nil {
+		return d.Err()
+	}
 	f, ok := d.facts[id]
 	if !ok {
 		return fmt.Errorf("db: %w with ID %d", ErrNoFact, id)
 	}
 	rel := d.relations[f.Relation]
-	d.store.Delete(f)
+	if err := d.store.Delete(f); err != nil {
+		d.degrade(err)
+		return d.Err()
+	}
 	delete(d.facts, id)
 	rel.epoch++
 	d.epoch++
+	d.maybeCompact()
 	return nil
 }
 
@@ -531,7 +751,9 @@ func (d *Database) Restrict(keep func(*Fact) bool) *Database {
 		out.CreateRelation(name, rel.Schema.Columns...)
 		for f := range rel.Scan() {
 			if keep(f) {
-				out.store.Insert(f)
+				if err := out.store.Insert(f); err != nil {
+					panic(fmt.Sprintf("db: restrict insert: %v", err)) // memory backend with known relations
+				}
 				out.facts[f.ID] = f
 			}
 		}
@@ -552,6 +774,10 @@ func (d *Database) Migrate(backend, dir string) (*Database, error) {
 	}
 	for _, name := range d.order {
 		out.CreateRelation(name, d.relations[name].Schema.Columns...)
+	}
+	if err := out.Err(); err != nil {
+		out.Close()
+		return nil, err
 	}
 	facts := make([]*Fact, 0, len(d.facts))
 	for _, f := range d.facts {

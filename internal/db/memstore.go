@@ -1,6 +1,9 @@
 package db
 
-import "iter"
+import (
+	"fmt"
+	"iter"
+)
 
 // memStore is the in-memory backend: the historical per-relation fact
 // slices (insertion order preserved), extended with secondary hash indexes
@@ -32,12 +35,16 @@ func NewMemStore() Store {
 
 func (s *memStore) Backend() string { return BackendMemory }
 
-func (s *memStore) CreateRelation(schema Schema) {
+func (s *memStore) CreateRelation(schema Schema) error {
 	s.relations[schema.Name] = &memRelation{indexes: make(map[string]*memIndex)}
+	return nil
 }
 
-func (s *memStore) Insert(f *Fact) {
+func (s *memStore) Insert(f *Fact) error {
 	r := s.relations[f.Relation]
+	if r == nil {
+		return fmt.Errorf("db: %w %q", ErrUnknownRelation, f.Relation)
+	}
 	r.facts = append(r.facts, f)
 	var buf []byte
 	for _, ix := range r.indexes {
@@ -45,10 +52,14 @@ func (s *memStore) Insert(f *Fact) {
 		k := Key(buf)
 		ix.buckets[k] = append(ix.buckets[k], f)
 	}
+	return nil
 }
 
-func (s *memStore) Delete(f *Fact) {
+func (s *memStore) Delete(f *Fact) error {
 	r := s.relations[f.Relation]
+	if r == nil {
+		return fmt.Errorf("db: %w %q", ErrUnknownRelation, f.Relation)
+	}
 	for i, g := range r.facts {
 		if g.ID == f.ID {
 			r.facts = append(r.facts[:i], r.facts[i+1:]...)
@@ -69,6 +80,7 @@ func (s *memStore) Delete(f *Fact) {
 			delete(ix.buckets, k)
 		}
 	}
+	return nil
 }
 
 func (s *memStore) Scan(relation string) iter.Seq[*Fact] {

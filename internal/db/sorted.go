@@ -1,7 +1,7 @@
 package db
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,18 +16,24 @@ import (
 // duplicate tuples coexist), and secondary B-trees are built lazily per
 // (relation, bound-positions) access pattern, exactly like the memory
 // backend's hash indexes but serving equality lookups as prefix range
-// scans. With a directory, every mutation is appended to an on-disk log so
-// the dataset survives the process (OpenSorted replays it).
+// scans. With a directory, every mutation is appended to a checksummed
+// write-ahead log (see wal.go) so the dataset survives the process — and
+// survives the process dying mid-write: OpenSorted replays the snapshot
+// plus the log's valid prefix and truncates any torn suffix.
 type sortedStore struct {
 	relations map[string]*sortedRelation
 	budget    int
 
 	// Persistence (nil/disabled when dir == "").
-	dir     string
-	logFile *os.File
-	logW    *bufio.Writer
-	logging bool
-	unsync  int // mutations since the last flush
+	dir      string
+	sync     SyncPolicy
+	openFile OpenFileFunc
+	wal      *walWriter
+	logging  bool
+	// walRecords counts records in the live log file; compaction compares
+	// it against the live fact count to decide when replay cost has
+	// outgrown the data.
+	walRecords int
 }
 
 type sortedRelation struct {
@@ -40,12 +46,36 @@ type sortedIndex struct {
 	tree btree
 }
 
-// logFlushEvery bounds how many mutations may sit in the write buffer
-// before the log is flushed to the OS.
-const logFlushEvery = 1024
+// On-disk layout of a persistent sorted store directory:
+//
+//	facts.log     framed WAL of mutations since the last snapshot
+//	snapshot.log  framed snapshot: watermark + schemas + live facts
+//	snapshot.tmp  in-progress snapshot (removed on open; never read)
+const (
+	logName     = "facts.log"
+	snapName    = "snapshot.log"
+	snapTmpName = "snapshot.tmp"
+)
 
-// logName is the append-only mutation log inside a sorted store directory.
-const logName = "facts.log"
+// SortedConfig configures a persistent sorted store beyond the directory:
+// the WAL sync policy and (for fault-injection tests) the function used to
+// open the WAL and snapshot files for writing.
+type SortedConfig struct {
+	Dir string
+	// Sync is the WAL durability policy; the zero value is
+	// SyncEveryN/DefaultSyncEvery.
+	Sync SyncPolicy
+	// OpenFile opens WAL and snapshot files for writing; nil means
+	// os.OpenFile. Tests inject faultfs wrappers here.
+	OpenFile OpenFileFunc
+}
+
+func (c SortedConfig) openFunc() OpenFileFunc {
+	if c.OpenFile != nil {
+		return c.OpenFile
+	}
+	return osOpenFile
+}
 
 // NewSortedStore returns an ephemeral (memory-only) sorted store.
 func NewSortedStore() Store {
@@ -53,53 +83,77 @@ func NewSortedStore() Store {
 	return s
 }
 
-// OpenSortedStore opens a sorted store. With an empty dir the store is
-// ephemeral. With a directory, mutations are logged to dir/facts.log; the
-// directory is created if needed. A directory whose log already holds data
-// is refused — reopen persisted datasets with OpenSorted, which replays the
-// log into a Database before appending resumes.
+// OpenSortedStore opens a sorted store with default configuration; see
+// OpenSortedStoreConfig.
 func OpenSortedStore(dir string) (Store, error) {
+	return OpenSortedStoreConfig(SortedConfig{Dir: dir})
+}
+
+// OpenSortedStoreConfig opens a sorted store. With an empty Dir the store
+// is ephemeral. With a directory, mutations are logged to Dir/facts.log;
+// the directory is created if needed. A directory already holding
+// persisted state is refused — reopen persisted datasets with OpenSorted,
+// which replays snapshot and log into a Database before appending resumes.
+func OpenSortedStoreConfig(cfg SortedConfig) (Store, error) {
+	if err := cfg.Sync.Validate(); err != nil {
+		return nil, err
+	}
 	s := &sortedStore{
 		relations: make(map[string]*sortedRelation),
 		budget:    DefaultIndexBudget,
-		dir:       dir,
+		dir:       cfg.Dir,
+		sync:      cfg.Sync,
+		openFile:  cfg.openFunc(),
 	}
-	if dir == "" {
+	if cfg.Dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("db: sorted store dir: %w", err)
 	}
-	path := filepath.Join(dir, logName)
-	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
-		return nil, fmt.Errorf("db: sorted store log %s already holds data; use db.OpenSorted to reload it", path)
+	if Persisted(cfg.Dir) {
+		return nil, fmt.Errorf("db: sorted store at %s already holds data; use db.OpenSorted to reload it", cfg.Dir)
 	}
-	if err := s.openLog(); err != nil {
+	if err := s.openLog(0); err != nil {
 		return nil, err
 	}
 	s.logging = true
 	return s, nil
 }
 
-func (s *sortedStore) openLog() error {
-	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openLog opens (creating if needed) the live WAL for appending. flag
+// extras beyond create+write-only+append may be passed (O_TRUNC when
+// rotating after a snapshot).
+func (s *sortedStore) openLog(extraFlag int) error {
+	f, err := s.openFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND|extraFlag, 0o644)
 	if err != nil {
 		return fmt.Errorf("db: sorted store log: %w", err)
 	}
-	s.logFile = f
-	s.logW = bufio.NewWriter(f)
+	s.wal = newWALWriter(f, s.sync)
 	return nil
 }
 
 func (s *sortedStore) Backend() string { return BackendSorted }
 
-func (s *sortedStore) CreateRelation(schema Schema) {
+func (s *sortedStore) CreateRelation(schema Schema) error {
+	if _, ok := s.relations[schema.Name]; ok {
+		return fmt.Errorf("db: relation %q already exists in store", schema.Name)
+	}
 	s.relations[schema.Name] = &sortedRelation{indexes: make(map[string]*sortedIndex)}
-	s.appendLog(logRecord{Op: "R", Rel: schema.Name, Cols: schema.Columns})
+	if err := s.appendLog(logRecord{Op: "R", Rel: schema.Name, Cols: schema.Columns}); err != nil {
+		// The schema was never made durable: undo so in-memory state equals
+		// what a reopen would recover.
+		delete(s.relations, schema.Name)
+		return err
+	}
+	return nil
 }
 
-func (s *sortedStore) Insert(f *Fact) {
+func (s *sortedStore) Insert(f *Fact) error {
 	r := s.relations[f.Relation]
+	if r == nil {
+		return fmt.Errorf("db: %w %q", ErrUnknownRelation, f.Relation)
+	}
 	key := AppendFactID(AppendTupleKey(nil, f.Tuple, nil), f.ID)
 	r.primary.insert(string(key), f)
 	var buf []byte
@@ -107,11 +161,24 @@ func (s *sortedStore) Insert(f *Fact) {
 		buf = AppendFactID(AppendTupleKey(buf[:0], f.Tuple, ix.pos), f.ID)
 		ix.tree.insert(string(buf), f)
 	}
-	s.appendLog(insertRecord(f))
+	if err := s.appendLog(insertRecord(f)); err != nil {
+		// Roll the trees back: a mutation the log rejected was never
+		// applied, so memory matches the durable state on disk.
+		r.primary.delete(string(key))
+		for _, ix := range r.indexes {
+			buf = AppendFactID(AppendTupleKey(buf[:0], f.Tuple, ix.pos), f.ID)
+			ix.tree.delete(string(buf))
+		}
+		return err
+	}
+	return nil
 }
 
-func (s *sortedStore) Delete(f *Fact) {
+func (s *sortedStore) Delete(f *Fact) error {
 	r := s.relations[f.Relation]
+	if r == nil {
+		return fmt.Errorf("db: %w %q", ErrUnknownRelation, f.Relation)
+	}
 	key := AppendFactID(AppendTupleKey(nil, f.Tuple, nil), f.ID)
 	r.primary.delete(string(key))
 	var buf []byte
@@ -119,7 +186,15 @@ func (s *sortedStore) Delete(f *Fact) {
 		buf = AppendFactID(AppendTupleKey(buf[:0], f.Tuple, ix.pos), f.ID)
 		ix.tree.delete(string(buf))
 	}
-	s.appendLog(logRecord{Op: "D", ID: f.ID})
+	if err := s.appendLog(logRecord{Op: "D", ID: f.ID}); err != nil {
+		r.primary.insert(string(key), f)
+		for _, ix := range r.indexes {
+			buf = AppendFactID(AppendTupleKey(buf[:0], f.Tuple, ix.pos), f.ID)
+			ix.tree.insert(string(buf), f)
+		}
+		return err
+	}
+	return nil
 }
 
 func (s *sortedStore) Scan(relation string) iter.Seq[*Fact] {
@@ -188,22 +263,95 @@ func (s *sortedStore) SetIndexBudget(n int) {
 	}
 }
 
-// Close flushes and closes the mutation log (no-op for ephemeral stores).
-func (s *sortedStore) Close() error {
-	if s.logFile == nil {
+// Sync forces the WAL to stable storage regardless of the sync policy
+// (no-op for ephemeral stores).
+func (s *sortedStore) Sync() error {
+	if s.wal == nil {
 		return nil
 	}
-	err := s.logW.Flush()
-	if cerr := s.logFile.Close(); err == nil {
-		err = cerr
+	return s.wal.Sync()
+}
+
+// Close flushes, fsyncs, and closes the mutation log (no-op for ephemeral
+// stores). The first failure is returned — a failed flush means the tail
+// of the log never reached the disk, and callers must hear about it.
+func (s *sortedStore) Close() error {
+	if s.wal == nil {
+		return nil
 	}
-	s.logFile, s.logW, s.logging = nil, nil, false
+	err := s.wal.Close()
+	s.wal, s.logging = nil, false
 	return err
 }
 
-// logRecord is one line of the sorted store's JSONL mutation log.
+// snapshot atomically replaces the store's durable state with the given
+// records (a full image: watermark, schemas, live facts) and rotates the
+// WAL so replay cost on the next open is proportional to live data, not to
+// mutation history. The snapshot is crash-safe at every step: it is
+// written to snapshot.tmp, fsynced, and renamed over snapshot.log; only
+// then is the log truncated. A crash inside the rename→truncate window
+// leaves a snapshot plus a stale log, which replay handles idempotently.
+//
+// On a post-rename failure the store can no longer append (wal == nil):
+// the data is safe on disk but the store is effectively read-only, and the
+// caller should degrade.
+func (s *sortedStore) snapshot(recs []logRecord) error {
+	if !s.logging {
+		return nil
+	}
+	tmp := filepath.Join(s.dir, snapTmpName)
+	f, err := s.openFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("db: snapshot: %w", err)
+	}
+	w := newWALWriter(f, SyncPolicy{Mode: SyncOnClose})
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			panic(fmt.Sprintf("db: snapshot encode: %v", err)) // all fields are marshalable
+		}
+		if err := w.Append(append(b, '\n')); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("db: snapshot rename: %w", err)
+	}
+	syncDir(s.dir)
+	// The snapshot now owns every live fact; retire the log. Closing the
+	// old writer first makes its buffered tail reach the file before the
+	// truncating reopen discards it — harmless either way, since every
+	// logged record is covered by the snapshot.
+	cerr := s.wal.Close()
+	s.wal = nil
+	if err := s.openLog(os.O_TRUNC); err != nil {
+		return err
+	}
+	s.walRecords = 0
+	return cerr
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// logRecord is one record of the sorted store's mutation log and
+// snapshots. Payloads are single JSON lines (framed by wal.go), so logs
+// stay greppable.
 type logRecord struct {
-	Op   string     `json:"op"` // "R" create relation, "I" insert, "D" delete
+	Op   string     `json:"op"` // "R" create relation, "I" insert, "D" delete, "M" next-ID watermark
 	Rel  string     `json:"rel,omitempty"`
 	Cols []string   `json:"cols,omitempty"`
 	ID   FactID     `json:"id,omitempty"`
@@ -235,52 +383,114 @@ func (rec logRecord) tuple() []Value {
 	return vals
 }
 
-func (s *sortedStore) appendLog(rec logRecord) {
+// appendLog writes one record to the WAL under the store's sync policy.
+// Errors propagate to the mutation that caused them — a full disk is a
+// failed insert, not a dead process.
+func (s *sortedStore) appendLog(rec logRecord) error {
 	if !s.logging {
-		return
+		return nil
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		panic(fmt.Sprintf("db: sorted store log encode: %v", err)) // all fields are marshalable
 	}
-	b = append(b, '\n')
-	if _, err := s.logW.Write(b); err != nil {
-		panic(fmt.Sprintf("db: sorted store log write: %v", err))
+	if err := s.wal.Append(append(b, '\n')); err != nil {
+		return err
 	}
-	s.unsync++
-	if s.unsync >= logFlushEvery {
-		s.logW.Flush()
-		s.unsync = 0
-	}
+	s.walRecords++
+	return nil
 }
 
 // Persisted reports whether dir holds sorted-store state from a previous
 // run, i.e. whether OpenSorted would restore any relations or facts from it.
 func Persisted(dir string) bool {
-	st, err := os.Stat(filepath.Join(dir, logName))
-	return err == nil && st.Size() > 0
+	for _, name := range []string{snapName, logName} {
+		if st, err := os.Stat(filepath.Join(dir, name)); err == nil && st.Size() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
-// readLog parses the mutation log under dir. A missing log yields no
-// records and no error (a fresh directory is a valid empty dataset).
-func readLog(dir string) ([]logRecord, error) {
-	f, err := os.Open(filepath.Join(dir, logName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+// readWALRecords decodes the valid prefix of framed WAL data: frames up to
+// the first invalid one (torn, corrupt, or undecodable) are returned along
+// with the byte length of that prefix. It never fails — corruption
+// shortens the prefix instead.
+func readWALRecords(data []byte) (recs []logRecord, validLen int64) {
+	for _, fr := range scanFrames(data) {
+		var rec logRecord
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return recs, validLen
+		}
+		recs = append(recs, rec)
+		validLen = fr.end
 	}
-	if err != nil {
-		return nil, fmt.Errorf("db: sorted store log: %w", err)
-	}
-	defer f.Close()
+	return recs, validLen
+}
+
+// legacyLog reports whether data is a pre-WAL JSONL mutation log (written
+// by earlier versions of this package, one bare JSON object per line).
+// Framed data cannot begin with `{"` — those bytes would be the low half
+// of a frame length — so the first two bytes decide.
+func legacyLog(data []byte) bool {
+	return len(data) >= 2 && data[0] == '{' && data[1] == '"'
+}
+
+// readLegacyLog parses a pre-WAL JSONL mutation log. Unlike WAL recovery
+// this is strict: the legacy format cannot distinguish a torn tail from
+// corruption, so any undecodable record fails the load (the historical
+// behavior).
+func readLegacyLog(data []byte) ([]logRecord, error) {
 	var out []logRecord
-	dec := json.NewDecoder(bufio.NewReader(f))
+	dec := json.NewDecoder(bytes.NewReader(data))
 	for {
 		var rec logRecord
 		if err := dec.Decode(&rec); err == io.EOF {
 			return out, nil
 		} else if err != nil {
-			return nil, fmt.Errorf("db: sorted store log record %d: %w", len(out), err)
+			return nil, fmt.Errorf("db: sorted store legacy log record %d: %w", len(out), err)
 		}
 		out = append(out, rec)
 	}
+}
+
+// readStoreState loads a persisted directory's snapshot and log records,
+// truncating any torn log suffix. legacy reports a pre-WAL JSONL log that
+// the caller should compact into the new format after replay.
+func readStoreState(dir string) (snapRecs, logRecs []logRecord, info RecoveryInfo, legacy bool, err error) {
+	// A leftover snapshot.tmp is an interrupted compaction that never
+	// reached its atomic rename; it holds nothing the log doesn't.
+	os.Remove(filepath.Join(dir, snapTmpName))
+
+	snapData, err := os.ReadFile(filepath.Join(dir, snapName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, info, false, fmt.Errorf("db: sorted store snapshot: %w", err)
+	}
+	snapRecs, _ = readWALRecords(snapData)
+	info.SnapshotRecords = len(snapRecs)
+
+	logPath := filepath.Join(dir, logName)
+	logData, err := os.ReadFile(logPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, info, false, fmt.Errorf("db: sorted store log: %w", err)
+	}
+	if legacyLog(logData) {
+		logRecs, err := readLegacyLog(logData)
+		if err != nil {
+			return nil, nil, info, false, err
+		}
+		info.LogRecords = len(logRecs)
+		return snapRecs, logRecs, info, true, nil
+	}
+	var validLen int64
+	logRecs, validLen = readWALRecords(logData)
+	info.LogRecords = len(logRecs)
+	info.DroppedBytes = int64(len(logData)) - validLen
+	if info.DroppedBytes > 0 {
+		info.Truncated = true
+		if err := os.Truncate(logPath, validLen); err != nil {
+			return nil, nil, info, false, fmt.Errorf("db: truncating torn log suffix: %w", err)
+		}
+	}
+	return snapRecs, logRecs, info, false, nil
 }

@@ -21,12 +21,17 @@ import (
 type Store interface {
 	// Backend returns the store's registered backend name.
 	Backend() string
-	// CreateRelation registers storage for a new relation.
-	CreateRelation(schema Schema)
-	// Insert adds a fact to its relation's storage.
-	Insert(f *Fact)
-	// Delete removes a fact from its relation's storage.
-	Delete(f *Fact)
+	// CreateRelation registers storage for a new relation. An error means
+	// the relation was NOT registered (for persistent stores, typically a
+	// failed log append).
+	CreateRelation(schema Schema) error
+	// Insert adds a fact to its relation's storage. An error — unknown
+	// relation, or a persistent store failing to log the mutation — means
+	// the fact was NOT stored; the store's in-memory state is unchanged.
+	Insert(f *Fact) error
+	// Delete removes a fact from its relation's storage, with the same
+	// not-applied-on-error contract as Insert.
+	Delete(f *Fact) error
 	// Scan yields every fact of the relation, in the backend's native order
 	// (insertion order for memory, key order for sorted).
 	Scan(relation string) iter.Seq[*Fact]

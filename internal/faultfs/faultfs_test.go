@@ -1,0 +1,130 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, in *Injector) (*File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.Open(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return f, path
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	return st.Size()
+}
+
+func TestPassThrough(t *testing.T) {
+	in := New()
+	f, path := openTemp(t, in)
+	if n, err := f.Write(make([]byte, 100)); n != 100 || err != nil {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := fileSize(t, path); got != 100 {
+		t.Fatalf("size = %d, want 100", got)
+	}
+	if in.Written() != 100 || in.Tripped() {
+		t.Fatalf("written=%d tripped=%v", in.Written(), in.Tripped())
+	}
+}
+
+func TestTornTailAtCrashOffset(t *testing.T) {
+	in := New()
+	in.CrashAt(150)
+	f, path := openTemp(t, in)
+	if n, err := f.Write(make([]byte, 100)); n != 100 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	// This write crosses byte 150: exactly 50 bytes land, then the error.
+	n, err := f.Write(make([]byte, 100))
+	if n != 50 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write = %d, %v; want 50, ErrInjected", n, err)
+	}
+	if !in.Tripped() {
+		t.Fatal("injector did not trip")
+	}
+	// Everything afterwards fails without touching the file.
+	if n, err := f.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write = %d, %v", n, err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after crash: %v", err)
+	}
+	if got := fileSize(t, path); got != 150 {
+		t.Fatalf("size = %d, want 150 (torn tail)", got)
+	}
+}
+
+func TestSharpCrashWritesNothing(t *testing.T) {
+	in := New()
+	in.CrashAtSharp(150)
+	f, path := openTemp(t, in)
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if n, err := f.Write(make([]byte, 100)); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write = %d, %v; want 0, ErrInjected", n, err)
+	}
+	f.Close()
+	if got := fileSize(t, path); got != 100 {
+		t.Fatalf("size = %d, want 100 (no torn tail)", got)
+	}
+}
+
+func TestAccountingSpansFiles(t *testing.T) {
+	in := New()
+	in.CrashAt(100)
+	a, _ := openTemp(t, in)
+	b, pathB := openTemp(t, in)
+	if _, err := a.Write(make([]byte, 80)); err != nil {
+		t.Fatalf("write a: %v", err)
+	}
+	// The budget is global: only 20 bytes remain for file b.
+	n, err := b.Write(make([]byte, 50))
+	if n != 20 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write b = %d, %v; want 20, ErrInjected", n, err)
+	}
+	a.Close()
+	b.Close()
+	if got := fileSize(t, pathB); got != 20 {
+		t.Fatalf("b size = %d, want 20", got)
+	}
+}
+
+func TestDisarmResumes(t *testing.T) {
+	in := New()
+	in.CrashAt(10)
+	f, path := openTemp(t, in)
+	if _, err := f.Write(make([]byte, 20)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want trip, got %v", err)
+	}
+	in.Disarm()
+	if n, err := f.Write(make([]byte, 5)); n != 5 || err != nil {
+		t.Fatalf("post-disarm write = %d, %v", n, err)
+	}
+	f.Close()
+	if got := fileSize(t, path); got != 15 {
+		t.Fatalf("size = %d, want 15", got)
+	}
+}

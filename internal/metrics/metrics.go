@@ -248,6 +248,9 @@ type Recorder struct {
 type routeRecord struct {
 	count   int64
 	errors  int64
+	sheds   int64           // requests refused by admission control (429)
+	panics  int64           // handler panics recovered into 500s
+	timeout int64           // requests cut off by the per-request deadline (504)
 	samples []time.Duration // ring buffer of the last sampleCap latencies
 	next    int             // ring write cursor once len == sampleCap
 }
@@ -270,11 +273,7 @@ func NewRecorder(sampleCap int) *Recorder {
 func (r *Recorder) Observe(route string, status int, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rec := r.routes[route]
-	if rec == nil {
-		rec = &routeRecord{}
-		r.routes[route] = rec
-	}
+	rec := r.route(route)
 	rec.count++
 	if status < 200 || status >= 300 {
 		rec.errors++
@@ -287,10 +286,49 @@ func (r *Recorder) Observe(route string, status int, d time.Duration) {
 	}
 }
 
+// route returns (creating if needed) the record for a route label. Callers
+// must hold r.mu.
+func (r *Recorder) route(label string) *routeRecord {
+	rec := r.routes[label]
+	if rec == nil {
+		rec = &routeRecord{}
+		r.routes[label] = rec
+	}
+	return rec
+}
+
+// Shed counts one request refused by admission control. Shed requests also
+// flow through Observe (with their 429 status); this counter separates
+// load-shedding from other errors.
+func (r *Recorder) Shed(route string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.route(route).sheds++
+}
+
+// Panicked counts one handler panic recovered into a 500. A plain 500
+// cannot be told apart from a panic by status alone, so the recovery
+// middleware reports panics here explicitly.
+func (r *Recorder) Panicked(route string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.route(route).panics++
+}
+
+// TimedOut counts one request cut off by the per-request deadline.
+func (r *Recorder) TimedOut(route string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.route(route).timeout++
+}
+
 // RouteStats is one route's snapshot from Recorder.Snapshot.
 type RouteStats struct {
 	Route         string
 	Count, Errors int64
+	// Sheds, Panics, and Timeouts break out the degradation modes: refused
+	// by admission control, recovered handler panics, deadline expiries.
+	Sheds, Panics, Timeouts int64
 	// RatePerSec is lifetime completed requests over the recorder's uptime.
 	RatePerSec float64
 	Latency    LatencySummary
@@ -304,10 +342,13 @@ func (r *Recorder) Snapshot() []RouteStats {
 	out := make([]RouteStats, 0, len(r.routes))
 	for route, rec := range r.routes {
 		rs := RouteStats{
-			Route:   route,
-			Count:   rec.count,
-			Errors:  rec.errors,
-			Latency: SummarizeLatency(rec.samples),
+			Route:    route,
+			Count:    rec.count,
+			Errors:   rec.errors,
+			Sheds:    rec.sheds,
+			Panics:   rec.panics,
+			Timeouts: rec.timeout,
+			Latency:  SummarizeLatency(rec.samples),
 		}
 		if uptime > 0 {
 			rs.RatePerSec = float64(rec.count) / uptime

@@ -13,11 +13,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -83,6 +86,9 @@ type Level struct {
 	// Explains and Updates count completed requests across all clients.
 	Explains int `json:"explains"`
 	Updates  int `json:"updates,omitempty"`
+	// Retries counts requests of this phase answered 429/503 and retried
+	// after backoff (shedding shows up here, not as silent errors).
+	Retries int64 `json:"retries,omitempty"`
 	// ElapsedMs is the phase wall clock; ThroughputRPS is requests
 	// (explains + updates) over it.
 	ElapsedMs     float64 `json:"elapsed_ms"`
@@ -120,6 +126,83 @@ type Report struct {
 	// big.Rat-identical against a cold repro.Explain (the run fails on the
 	// first mismatch).
 	ValueChecks int `json:"value_checks"`
+	// Retries is the run-wide total of 429/503 responses absorbed by the
+	// client's backoff-and-retry loop.
+	Retries int64 `json:"retries"`
+}
+
+// Retry policy for shed (429) and degraded/unavailable (503) responses:
+// capped exponential backoff with jitter, honoring the server's Retry-After
+// hint as a lower bound on the wait.
+const (
+	retryMax     = 8
+	retryBase    = 50 * time.Millisecond
+	retryCeiling = 2 * time.Second
+)
+
+// benchClient is the load generator's HTTP client: it retries overload
+// responses with capped jittered backoff and counts every retry, so a
+// shedding server slows the bench down measurably instead of failing it.
+type benchClient struct {
+	hc      *http.Client
+	retries atomic.Int64
+}
+
+// do issues one request, retrying 429/503 up to retryMax times. Any other
+// non-2xx status fails immediately.
+func (c *benchClient) do(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	backoff := retryBase
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return raw, nil
+		}
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= retryMax {
+			return nil, fmt.Errorf("servebench: %s -> %d (after %d retries): %s",
+				url, resp.StatusCode, attempt, strings.TrimSpace(string(raw)))
+		}
+		// Jittered wait in [backoff/2, 3·backoff/2), floored by the server's
+		// Retry-After hint, capped at the ceiling.
+		wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			if hint := time.Duration(ra) * time.Second; wait < hint {
+				wait = hint
+			}
+		}
+		if wait > retryCeiling {
+			wait = retryCeiling
+		}
+		c.retries.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+		if backoff < retryCeiling {
+			backoff *= 2
+		}
+	}
 }
 
 // Run executes the load generation and returns the report, failing on any
@@ -154,7 +237,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		defer hs.Close()
 		base = "http://" + ln.Addr().String()
 	}
-	client := &http.Client{Timeout: 2 * time.Minute}
+	client := &benchClient{hc: &http.Client{Timeout: 2 * time.Minute}}
 
 	// Cold reference on a locally built equivalent database, keyed by fact
 	// content (relation + tuple) so it is robust to server-side fact-ID
@@ -230,13 +313,15 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		return nil, err
 	}
 	rep.Pool, rep.Cache = st.Pool, st.Cache
+	rep.Retries = client.retries.Load()
 	return rep, nil
 }
 
 // runExplainPhase fires clients×Requests explain requests and summarizes.
-func runExplainPhase(ctx context.Context, client *http.Client, base string, opts Options, mode string, clients int, noPool bool) (Level, []time.Duration, error) {
+func runExplainPhase(ctx context.Context, client *benchClient, base string, opts Options, mode string, clients int, noPool bool) (Level, []time.Duration, error) {
 	lats := make([][]time.Duration, clients)
 	errs := make(chan error, clients)
+	retries0 := client.retries.Load()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -267,6 +352,7 @@ func runExplainPhase(ctx context.Context, client *http.Client, base string, opts
 		Mode:          mode,
 		Clients:       clients,
 		Explains:      len(all),
+		Retries:       client.retries.Load() - retries0,
 		ElapsedMs:     float64(elapsed) / float64(time.Millisecond),
 		ThroughputRPS: float64(len(all)) / elapsed.Seconds(),
 		Latency:       metrics.SummarizeLatency(all),
@@ -278,11 +364,12 @@ func runExplainPhase(ctx context.Context, client *http.Client, base string, opts
 // client alternately inserts and deletes its own joining flight through the
 // pooled session route, so concurrent clients exercise the coalescing
 // batcher).
-func runMixedPhase(ctx context.Context, client *http.Client, base string, opts Options, clients int) (Level, []time.Duration, error) {
+func runMixedPhase(ctx context.Context, client *benchClient, base string, opts Options, clients int) (Level, []time.Duration, error) {
 	usa := []string{"JFK", "EWR", "BOS", "LAX"}
 	lats := make([][]time.Duration, clients)
 	updates := make([]int, clients)
 	errs := make(chan error, clients)
+	retries0 := client.retries.Load()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -358,6 +445,7 @@ func runMixedPhase(ctx context.Context, client *http.Client, base string, opts O
 		Clients:       clients,
 		Explains:      len(all),
 		Updates:       nup,
+		Retries:       client.retries.Load() - retries0,
 		ElapsedMs:     float64(elapsed) / float64(time.Millisecond),
 		ThroughputRPS: float64(len(all)+nup) / elapsed.Seconds(),
 		Latency:       metrics.SummarizeLatency(all),
@@ -365,13 +453,13 @@ func runMixedPhase(ctx context.Context, client *http.Client, base string, opts O
 	return lv, all, nil
 }
 
-func postExplain(ctx context.Context, client *http.Client, base string, opts Options, noPool bool) (*wire.ExplainResponse, time.Duration, error) {
+func postExplain(ctx context.Context, client *benchClient, base string, opts Options, noPool bool) (*wire.ExplainResponse, time.Duration, error) {
 	body, err := json.Marshal(wire.ExplainRequest{Dataset: opts.Dataset, Query: opts.Query, NoPool: noPool})
 	if err != nil {
 		return nil, 0, err
 	}
 	start := time.Now()
-	raw, err := post(ctx, client, base+"/v1/explain", body)
+	raw, err := client.do(ctx, http.MethodPost, base+"/v1/explain", body)
 	d := time.Since(start)
 	if err != nil {
 		return nil, d, err
@@ -383,12 +471,12 @@ func postExplain(ctx context.Context, client *http.Client, base string, opts Opt
 	return &resp, d, nil
 }
 
-func postUpdate(ctx context.Context, client *http.Client, base string, opts Options, req wire.UpdateRequest) (*wire.UpdateResponse, error) {
+func postUpdate(ctx context.Context, client *benchClient, base string, opts Options, req wire.UpdateRequest) (*wire.UpdateResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := post(ctx, client, base+"/v1/update", body)
+	raw, err := client.do(ctx, http.MethodPost, base+"/v1/update", body)
 	if err != nil {
 		return nil, err
 	}
@@ -399,43 +487,10 @@ func postUpdate(ctx context.Context, client *http.Client, base string, opts Opti
 	return &resp, nil
 }
 
-func post(ctx context.Context, client *http.Client, url string, body []byte) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+func getStats(ctx context.Context, client *benchClient, base string) (*wire.StatsResponse, error) {
+	raw, err := client.do(ctx, http.MethodGet, base+"/v1/stats", nil)
 	if err != nil {
 		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("servebench: %s -> %d: %s", url, resp.StatusCode, strings.TrimSpace(string(raw)))
-	}
-	return raw, nil
-}
-
-func getStats(ctx context.Context, client *http.Client, base string) (*wire.StatsResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("servebench: /v1/stats -> %d: %s", resp.StatusCode, raw)
 	}
 	var st wire.StatsResponse
 	if err := json.Unmarshal(raw, &st); err != nil {

@@ -51,6 +51,11 @@ type Pool struct {
 
 	opens, reuses, evictions                        int64
 	updateRequests, updateBatches, coalescedBatches int64
+
+	// testHookExplain, when set, runs inside Explain while the session is
+	// acquired (refcount raised, release deferred). Tests use it to panic
+	// mid-request and assert the refcount still releases.
+	testHookExplain func()
 }
 
 // DefaultPoolSize bounds the pool when the configuration does not.
@@ -205,10 +210,27 @@ func (p *Pool) Explain(ctx context.Context, key Key) ([]repro.TupleExplanation, 
 		return nil, err
 	}
 	defer p.release(e)
+	if p.testHookExplain != nil {
+		p.testHookExplain()
+	}
 	lock := p.dbLock(key.Dataset)
 	lock.RLock()
 	defer lock.RUnlock()
 	return e.sess.Explain(ctx)
+}
+
+// inFlight sums the refcounts of every pooled entry — the number of
+// requests currently holding a session. A quiesced pool reports zero even
+// after handlers panicked mid-request (release is deferred, so it runs as
+// the panic unwinds).
+func (p *Pool) inFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		n += el.Value.(*entry).refs
+	}
+	return n
 }
 
 // Update routes one mutation batch through the key's pooled session,

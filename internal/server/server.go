@@ -15,11 +15,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -42,6 +44,17 @@ type Config struct {
 	// LatencyWindow sizes the per-route latency sample behind /v1/stats
 	// (≤ 0 = metrics.DefaultLatencyWindow).
 	LatencyWindow int
+	// RequestTimeout bounds each explain/update request's wall clock: the
+	// request context expires at the deadline, the compile/Shapley pipeline
+	// aborts at its next cancellation point, and the client gets a 504.
+	// Zero means no per-request deadline.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing requests per work route
+	// (/v1/explain and /v1/update each get their own bound; /v1/stats and
+	// /healthz stay admission-free so the service remains observable under
+	// overload). Excess requests are shed immediately with 429 and a
+	// Retry-After header rather than queueing. Zero means unbounded.
+	MaxInFlight int
 }
 
 // Server serves the explanation API over a session pool.
@@ -51,6 +64,9 @@ type Server struct {
 	locks map[string]*sync.RWMutex
 	rec   *metrics.Recorder
 	mux   *http.ServeMux
+	// admit holds the per-route admission semaphores (nil when MaxInFlight
+	// is unbounded): a slot must be acquired before the handler runs.
+	admit map[string]chan struct{}
 }
 
 // New validates the configuration and returns a server ready to serve.
@@ -73,8 +89,14 @@ func New(cfg Config) (*Server, error) {
 	s.pool = NewPool(cfg.PoolSize, s.openSession, func(dataset string) *sync.RWMutex {
 		return s.locks[dataset]
 	})
-	s.mux.HandleFunc("/v1/explain", s.instrument("/v1/explain", s.handleExplain))
-	s.mux.HandleFunc("/v1/update", s.instrument("/v1/update", s.handleUpdate))
+	if cfg.MaxInFlight > 0 {
+		s.admit = map[string]chan struct{}{
+			"/v1/explain": make(chan struct{}, cfg.MaxInFlight),
+			"/v1/update":  make(chan struct{}, cfg.MaxInFlight),
+		}
+	}
+	s.mux.HandleFunc("/v1/explain", s.instrument("/v1/explain", s.guard("/v1/explain", s.handleExplain)))
+	s.mux.HandleFunc("/v1/update", s.instrument("/v1/update", s.guard("/v1/update", s.handleUpdate)))
 	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
@@ -123,12 +145,58 @@ func (w *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the request recorder feeding /v1/stats.
+// It also classifies degradation outcomes by status: only admission control
+// writes 429 and only the deadline middleware produces 504, so those
+// statuses are the shed and timeout counters (panics are ambiguous with
+// plain 500s and are counted where they are recovered).
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
+		switch rec.status {
+		case http.StatusTooManyRequests:
+			s.rec.Shed(route)
+		case http.StatusGatewayTimeout:
+			s.rec.TimedOut(route)
+		}
 		s.rec.Observe(route, rec.status, time.Since(start))
+	}
+}
+
+// guard is the resilience middleware on the work routes, inside instrument
+// (so shed and panicked requests are still observed) and outside the
+// handler. In order: admission control sheds excess concurrency with 429 +
+// Retry-After before any work starts; the per-request deadline arms the
+// context the compile/Shapley pipeline already honors; panic recovery turns
+// a handler panic into a 500 instead of a killed connection — the session
+// pool's refcounts release on the way out (deferred in Pool.Explain/Update),
+// so a panicked request never wedges a pooled session.
+func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if sem := s.admit[route]; sem != nil {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			default:
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("server: %s over capacity (%d in flight)", route, cap(sem)))
+				return
+			}
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			if v := recover(); v != nil {
+				s.rec.Panicked(route)
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("server: handler panicked: %v", v))
+			}
+		}()
+		h(w, r)
 	}
 }
 
@@ -155,20 +223,34 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc.Encode(body)
 }
 
+// retryAfterSeconds is the backoff hint sent with every shed (429) and
+// degraded/overloaded (503) response.
+const retryAfterSeconds = 1
+
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // errStatus maps an error to its HTTP status: the mutation layer's
 // sentinel errors (wrapped by every client-addressable failure, including
-// through repro.MutationError) are 400s, everything else is a 500. Query
-// parse errors and unknown datasets are rejected with explicit 400s at the
-// handlers before any session work starts.
+// through repro.MutationError) are 400s; a dataset in storage-degraded
+// mode is a 503 (retryable once an operator repairs the store); a request
+// cut off by the per-request deadline is a 504; everything else is a 500.
+// Query parse errors and unknown datasets are rejected with explicit 400s
+// at the handlers before any session work starts.
 func errStatus(err error) int {
-	if errors.Is(err, repro.ErrUnknownRelation) ||
+	switch {
+	case errors.Is(err, repro.ErrUnknownRelation) ||
 		errors.Is(err, repro.ErrNoFact) ||
-		errors.Is(err, repro.ErrArity) {
+		errors.Is(err, repro.ErrArity):
 		return http.StatusBadRequest
+	case errors.Is(err, repro.ErrDegraded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
 }
@@ -241,6 +323,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	d, lock, err := s.resolve(req.Dataset)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A storage-degraded dataset refuses mutations up front: memory already
+	// matches the last durable state, and applying more writes would only
+	// widen the gap. Explains keep serving that state; updates 503 until an
+	// operator repairs the store and restarts.
+	lock.RLock()
+	derr := d.Err()
+	lock.RUnlock()
+	if derr != nil {
+		writeError(w, http.StatusServiceUnavailable, derr)
 		return
 	}
 
@@ -356,8 +449,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		d := s.cfg.Datasets[name]
 		lock := s.locks[name]
 		lock.RLock()
-		datasets[i] = wire.DatasetStats{Name: name, Backend: d.Backend(), Facts: d.NumFacts()}
+		ds := wire.DatasetStats{Name: name, Backend: d.Backend(), Facts: d.NumFacts()}
+		if derr := d.Err(); derr != nil {
+			ds.Degraded = true
+			ds.DegradedError = derr.Error()
+		}
 		lock.RUnlock()
+		datasets[i] = ds
 	}
 	snap := s.rec.Snapshot()
 	routes := make([]wire.RouteStats, len(snap))
@@ -366,6 +464,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Route:      rs.Route,
 			Count:      rs.Count,
 			Errors:     rs.Errors,
+			Sheds:      rs.Sheds,
+			Panics:     rs.Panics,
+			Timeouts:   rs.Timeouts,
 			RatePerSec: rs.RatePerSec,
 			MeanMs:     rs.Latency.MeanMs,
 			P50Ms:      rs.Latency.P50Ms,

@@ -185,6 +185,12 @@ type RouteStats struct {
 	// Count and Errors count completed requests and non-2xx outcomes.
 	Count  int64 `json:"count"`
 	Errors int64 `json:"errors"`
+	// Sheds, Panics, and Timeouts break the errors out by degradation mode:
+	// refused by admission control (429), recovered handler panics (500),
+	// and per-request deadline expiries (504).
+	Sheds    int64 `json:"sheds"`
+	Panics   int64 `json:"panics"`
+	Timeouts int64 `json:"timeouts"`
 	// RatePerSec is Count over the server's uptime.
 	RatePerSec float64 `json:"rate_per_sec"`
 	// Latency percentiles are over a bounded window of recent requests.
@@ -206,12 +212,18 @@ type StatsResponse struct {
 	Datasets  []DatasetStats `json:"datasets,omitempty"`
 }
 
-// DatasetStats describes one served dataset: its size and the storage
-// backend its database runs on.
+// DatasetStats describes one served dataset: its size, the storage backend
+// its database runs on, and whether a storage failure has degraded it to
+// read-only.
 type DatasetStats struct {
 	Name    string `json:"name"`
 	Backend string `json:"backend"`
 	Facts   int    `json:"facts"`
+	// Degraded reports a dataset whose store refused a write: the database
+	// serves reads of its last durable state and rejects mutations (503).
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedError carries the storage failure that tripped degraded mode.
+	DegradedError string `json:"degraded_error,omitempty"`
 }
 
 // EncodeValue renders a database value as a JSON-encodable scalar. Floats

@@ -80,7 +80,35 @@ var (
 	ErrUnknownRelation = db.ErrUnknownRelation
 	ErrNoFact          = db.ErrNoFact
 	ErrArity           = db.ErrArity
+	// ErrDegraded wraps every mutation refused because a storage failure
+	// moved the database to read-only degraded mode (Database.Err carries
+	// the original failure). The HTTP service maps it to 503.
+	ErrDegraded = db.ErrDegraded
 )
+
+// Durability knobs for persistent sorted databases, re-exported.
+type (
+	// SyncPolicy says when the write-ahead log is fsynced relative to
+	// mutation acknowledgements (see db.SyncPolicy for the contract).
+	SyncPolicy = db.SyncPolicy
+	// RecoveryInfo reports what OpenDatabaseInfo recovered and dropped.
+	RecoveryInfo = db.RecoveryInfo
+)
+
+// Sync modes for SyncPolicy.Mode.
+const (
+	// SyncEveryN fsyncs after every N appended records (the default, with
+	// N = db.DefaultSyncEvery when unset).
+	SyncEveryN = db.SyncEveryN
+	// SyncAlways fsyncs before acknowledging each mutation: no acknowledged
+	// write is ever lost to a crash.
+	SyncAlways = db.SyncAlways
+	// SyncOnClose fsyncs only at Close and snapshot boundaries.
+	SyncOnClose = db.SyncOnClose
+)
+
+// ParseSyncPolicy parses "always", "onclose", "every", or "every=N".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return db.ParseSyncPolicy(s) }
 
 // Storage backend names for Options.Storage and NewDatabaseOn.
 const (
@@ -112,6 +140,14 @@ func NewDatabaseOn(backend, dir string) (*Database, error) {
 // dir): facts keep their IDs and endogenous flags, and the database resumes
 // logging to the same directory. Close it to flush the log.
 func OpenDatabase(dir string) (*Database, error) { return db.OpenSorted(dir) }
+
+// OpenDatabaseInfo is OpenDatabase with the recovery report: how many
+// snapshot and log records were replayed, and whether a torn log tail was
+// truncated (how many bytes a crash cost). sync sets the reopened
+// database's WAL sync policy (zero value = the default EveryN).
+func OpenDatabaseInfo(dir string, sync SyncPolicy) (*Database, RecoveryInfo, error) {
+	return db.OpenSortedConfig(db.SortedConfig{Dir: dir, Sync: sync})
+}
 
 // DatabasePersisted reports whether dir holds a dataset persisted by a
 // previous run, i.e. whether OpenDatabase would restore any state from it.
