@@ -1,0 +1,285 @@
+package repro
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flights"
+)
+
+func TestValidateBudget(t *testing.T) {
+	cases := []struct {
+		name string
+		b    ExplainBudget
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", ExplainBudget{}, ""},
+		{"full", ExplainBudget{MaxNodes: 100, Deadline: time.Second, MinSamples: 64, TargetCI: 0.05}, ""},
+		{"approx mode", ExplainBudget{Mode: ModeApproximate}, ""},
+		{"negative max nodes", ExplainBudget{MaxNodes: -1}, "MaxNodes"},
+		{"negative deadline", ExplainBudget{Deadline: -time.Second}, "deadline"},
+		{"negative min samples", ExplainBudget{MinSamples: -5}, "MinSamples"},
+		{"target CI one", ExplainBudget{TargetCI: 1}, "outside (0, 1)"},
+		{"target CI negative", ExplainBudget{TargetCI: -0.5}, "outside (0, 1)"},
+		{"target CI huge", ExplainBudget{TargetCI: 2}, "outside (0, 1)"},
+		{"bad mode", ExplainBudget{Mode: ExplainMode(99)}, "ExplainMode"},
+	}
+	for _, c := range cases {
+		err := ValidateBudget(c.b)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+		// Budget validation is wired into Options.Validate too.
+		if oerr := (Options{Budget: c.b}).Validate(); oerr == nil {
+			t.Errorf("%s: Options.Validate accepted the bad budget", c.name)
+		}
+	}
+}
+
+// checkApprox asserts one explanation is a well-formed marked approximation:
+// estimates for every fact, finite ordered bounds containing the value, a
+// positive sample count, and a reproducible seed.
+func checkApprox(t *testing.T, e *TupleExplanation) {
+	t.Helper()
+	if e.Method != MethodApprox {
+		t.Fatalf("method = %v, want approximate", e.Method)
+	}
+	if e.Samples <= 0 {
+		t.Errorf("approximate answer reports %d samples", e.Samples)
+	}
+	if len(e.Approx) != e.NumFacts {
+		t.Fatalf("estimates cover %d facts, want %d", len(e.Approx), e.NumFacts)
+	}
+	for id, est := range e.Approx {
+		for _, v := range []float64{est.Value, est.CILow, est.CIHigh} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("fact %d estimate %+v has non-finite field", id, est)
+			}
+		}
+		if est.CILow > est.Value || est.Value > est.CIHigh {
+			t.Errorf("fact %d value %v outside its CI [%v, %v]", id, est.Value, est.CILow, est.CIHigh)
+		}
+		if e.Score(id) != est.Value {
+			t.Errorf("Score(%d) = %v, estimate value %v", id, e.Score(id), est.Value)
+		}
+	}
+}
+
+// TestExplainBudgetMaxNodesForcesApprox: a starvation node budget degrades
+// the one-shot Explain to marked sampled estimates instead of erroring (the
+// exact run would fall back to the CNF proxy; the budget swaps the target).
+func TestExplainBudgetMaxNodesForcesApprox(t *testing.T) {
+	d, fs := flights.Build()
+	es, err := Explain(context.Background(), d, flights.Query(), Options{
+		Budget: ExplainBudget{MaxNodes: 1, MinSamples: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Fatalf("%d explanations, want 1", len(es))
+	}
+	checkApprox(t, &es[0])
+	if top := es[0].Ranking[0]; top != fs.A[1].ID {
+		t.Errorf("top-ranked fact = %d, want a1 (%d)", top, fs.A[1].ID)
+	}
+}
+
+// TestExplainBudgetDeadlineFallsBack arms a deadline that expires mid-flight
+// during the exact attempt: the request must degrade, not error.
+func TestExplainBudgetDeadlineFallsBack(t *testing.T) {
+	d, _ := flights.Build()
+	es, err := Explain(context.Background(), d, flights.Query(), Options{
+		Budget: ExplainBudget{Deadline: time.Nanosecond, MinSamples: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkApprox(t, &es[0])
+}
+
+// TestExplainModeApproximateSkipsExact: explicit approximation answers
+// deterministically — two runs with the same seed are identical, a seed
+// override perturbs them.
+func TestExplainModeApproximateSkipsExact(t *testing.T) {
+	d, _ := flights.Build()
+	opts := Options{Budget: ExplainBudget{Mode: ModeApproximate, MinSamples: 100}}
+	a, err := Explain(context.Background(), d, flights.Query(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explain(context.Background(), d, flights.Query(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkApprox(t, &a[0])
+	if a[0].ApproxSeed != b[0].ApproxSeed {
+		t.Fatalf("seeds diverge: %d vs %d", a[0].ApproxSeed, b[0].ApproxSeed)
+	}
+	for id, ea := range a[0].Approx {
+		if eb := b[0].Approx[id]; ea != eb {
+			t.Fatalf("fact %d: %+v vs %+v for identical budgets", id, ea, eb)
+		}
+	}
+	opts.Budget.Seed = 1234
+	c, err := Explain(context.Background(), d, flights.Query(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].ApproxSeed == a[0].ApproxSeed {
+		t.Error("seed override did not perturb the sampling seed")
+	}
+}
+
+// TestSessionBudgetedExplainUpgradesInBackground: a degraded session answer
+// is upgraded in place by the bounded background slot, so a later budgeted
+// explain of the same tuple serves the exact value — big.Rat-identical to a
+// cold exact run — without the caller ever widening its budget.
+func TestSessionBudgetedExplainUpgradesInBackground(t *testing.T) {
+	d, _ := flights.Build()
+	s, err := Open(d, flights.Query(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	starved := ExplainBudget{MaxNodes: 1, MinSamples: 64}
+	es, err := s.ExplainWithBudget(context.Background(), starved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkApprox(t, &es[0])
+
+	// The upgrade runs in the background slot; budgeted explains serve
+	// whatever is cached, so poll until the exact value lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for es[0].Method == MethodApprox {
+		if time.Now().After(deadline) {
+			t.Fatal("background upgrade never replaced the approximate answer")
+		}
+		time.Sleep(5 * time.Millisecond)
+		es, err = s.ExplainWithBudget(context.Background(), starved)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cold, _ := flights.Build()
+	want, err := Explain(context.Background(), cold, flights.Query(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExplanationsEqual(t, es, want, "upgraded session answer")
+
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Approximations < 1 {
+		t.Errorf("Approximations = %d, want ≥ 1", st.Approximations)
+	}
+	if st.Upgrades < 1 {
+		t.Errorf("Upgrades = %d, want ≥ 1", st.Upgrades)
+	}
+}
+
+// TestSessionUnbudgetedExplainNeverServesApprox: a cached approximate
+// answer must not contaminate an unbudgeted call — it recomputes exactly.
+func TestSessionUnbudgetedExplainNeverServesApprox(t *testing.T) {
+	d, _ := flights.Build()
+	s, err := Open(d, flights.Query(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	es, err := s.ExplainWithBudget(context.Background(), ExplainBudget{MaxNodes: 1, MinSamples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkApprox(t, &es[0])
+
+	es, err = s.Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es[0].Method != MethodExact {
+		t.Fatalf("unbudgeted explain served method %v, want exact", es[0].Method)
+	}
+	cold, _ := flights.Build()
+	want, err := Explain(context.Background(), cold, flights.Query(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExplanationsEqual(t, es, want, "unbudgeted after degraded")
+}
+
+// TestSessionBudgetedExplainSurvivesUpdates: degrade, mutate, and explain
+// again — the degraded cache entry for the stale epoch must not leak, and
+// the budgeted path stays correct across re-grounding.
+func TestSessionBudgetedExplainSurvivesUpdates(t *testing.T) {
+	d, _ := flights.Build()
+	s, err := Open(d, flights.Query(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	starved := ExplainBudget{MaxNodes: 1, MinSamples: 64}
+	if _, err := s.ExplainWithBudget(context.Background(), starved); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Insert("Flights", true, String("BOS"), String("ORY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := s.ExplainWithBudget(context.Background(), starved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkApprox(t, &es[0])
+	if _, ok := es[0].Approx[f.ID]; !ok {
+		t.Error("inserted fact missing from the post-update estimates")
+	}
+	if err := s.Delete(f.ID); err != nil {
+		t.Fatal(err)
+	}
+	es, err = s.Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := flights.Build()
+	want, err := Explain(context.Background(), cold, flights.Query(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExplanationsEqual(t, es, want, "exact after degraded churn")
+}
+
+// TestSessionCloseCancelsUpgrade: closing the session right after a
+// degraded explain must not leak or race the background upgrade.
+func TestSessionCloseCancelsUpgrade(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		d, _ := flights.Build()
+		s, err := Open(d, flights.Query(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ExplainWithBudget(context.Background(),
+			ExplainBudget{MaxNodes: 1, MinSamples: 64}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,9 @@ func main() {
 		jsonOut = flag.String("json", "", "write BENCH_serve.json to this path (\"-\" = stdout)")
 		pool    = flag.Int("pool", server.DefaultPoolSize, "in-process server's session pool capacity")
 		timeout = flag.Duration("timeout", 2500*time.Millisecond, "per-tuple exact budget for the in-process server and the cold reference")
+		budget  = flag.Float64("budget-ms", 0, "adds a budgeted phase: explains carrying this budget_ms, recording the exact/approximate mix and fallback latency")
+		minSamp = flag.Int("approx-min-samples", 0, "in-process server's sampling fallback minimum permutation count (0 = sampler default)")
+		allowAp = flag.Bool("allow-approx", false, "permit marked approximate answers in the quiesced value cross-check (for driving a starved server)")
 	)
 	flag.Parse()
 
@@ -59,7 +62,12 @@ func main() {
 		Requests:    *reqs,
 		UpdateEvery: *updEv,
 		PoolSize:    *pool,
-		Repro:       repro.Options{Timeout: *timeout},
+		Repro: repro.Options{
+			Timeout: *timeout,
+			Budget:  repro.ExplainBudget{MinSamples: *minSamp},
+		},
+		BudgetMs:    *budget,
+		AllowApprox: *allowAp,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
@@ -71,6 +79,13 @@ func main() {
 		fmt.Printf("%-16s clients=%-3d explains=%-4d updates=%-4d p50=%.2fms p95=%.2fms p99=%.2fms  %.1f req/s\n",
 			lv.Mode, lv.Clients, lv.Explains, lv.Updates,
 			lv.Latency.P50Ms, lv.Latency.P95Ms, lv.Latency.P99Ms, lv.ThroughputRPS)
+		if lv.Mode == "budgeted-pooled" {
+			fmt.Printf("%-16s exact=%-4d approx=%-4d", "", lv.ExactExplains, lv.ApproxExplains)
+			if lv.FallbackLatency != nil {
+				fmt.Printf(" fallback p50=%.2fms p99=%.2fms", lv.FallbackLatency.P50Ms, lv.FallbackLatency.P99Ms)
+			}
+			fmt.Println()
+		}
 	}
 	for _, h := range rep.HeadToHead {
 		fmt.Printf("head-to-head clients=%-3d pooled p50 %.2fms vs open-per-request %.2fms (%.1fx); throughput %.1f vs %.1f req/s (%.1fx)\n",
@@ -78,6 +93,9 @@ func main() {
 			h.PooledRPS, h.UnpooledRPS, h.ThroughputSpeedup)
 	}
 	fmt.Printf("client retries on 429/503: %d\n", rep.Retries)
+	if rep.Degraded > 0 {
+		fmt.Printf("server degraded (budget-exhausted, answered approximately): %d\n", rep.Degraded)
+	}
 	fmt.Printf("session pool: opens=%d reuses=%d evictions=%d update requests=%d batches=%d coalesced=%d\n",
 		rep.Pool.Opens, rep.Pool.Reuses, rep.Pool.Evictions,
 		rep.Pool.UpdateRequests, rep.Pool.UpdateBatches, rep.Pool.CoalescedBatches)

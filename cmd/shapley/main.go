@@ -11,6 +11,8 @@
 //	shapley -dataset imdb -query 8d -top 5
 //	shapley -dataset tpch -q "q(ck) :- customer(ck, cn, nk, seg, cb), orders(ok, ck, os, tp, od, op)"
 //	shapley -dataset flights -method proxy
+//	shapley -dataset flights -approx        # sampled estimates with 95% CIs
+//	shapley -dataset tpch -budget 50ms      # exact within budget, else degrade
 //	shapley -dataset flights -json          # machine-readable (wire) output
 package main
 
@@ -46,6 +48,10 @@ func main() {
 		nocanon = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of by canonical (rename-invariant) form")
 		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
 		asJSON  = flag.Bool("json", false, "emit the machine-readable wire encoding (the same JSON the shapleyd service serves) instead of text")
+		approx  = flag.Bool("approx", false, "skip the exact pipeline and sample Shapley estimates with 95% confidence intervals")
+		budget  = flag.Duration("budget", 0, "anytime budget: exact-attempt deadline before degrading to sampled estimates (0 = no anytime tier)")
+		minSamp = flag.Int("approx-min-samples", 0, "sampling minimum permutation count (0 = sampler default)")
+		seed    = flag.Int64("seed", 0, "sampling seed perturbation (0 = the canonical lineage-derived seed)")
 	)
 	flag.Parse()
 
@@ -79,6 +85,18 @@ func main() {
 		opts.MaxNodes = 1
 		opts.Timeout = time.Millisecond
 	}
+	opts.Budget = repro.ExplainBudget{
+		Deadline:   *budget,
+		MinSamples: *minSamp,
+		Seed:       *seed,
+	}
+	if *approx {
+		opts.Budget.Mode = repro.ModeApproximate
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "shapley:", err)
+		os.Exit(1)
+	}
 
 	start := time.Now()
 	explanations, err := repro.Explain(ctx, d, q, opts)
@@ -109,11 +127,22 @@ func main() {
 		if len(e.Tuple) == 0 {
 			tuple = "(yes)"
 		}
-		fmt.Printf("answer %s — %d provenance fact(s), method=%v, %v\n",
-			tuple, e.NumFacts, e.Method, e.Elapsed.Round(time.Microsecond))
+		if e.Method == repro.MethodApprox {
+			fmt.Printf("answer %s — %d provenance fact(s), method=%v (%d samples, seed %d), %v\n",
+				tuple, e.NumFacts, e.Method, e.Samples, e.ApproxSeed, e.Elapsed.Round(time.Microsecond))
+		} else {
+			fmt.Printf("answer %s — %d provenance fact(s), method=%v, %v\n",
+				tuple, e.NumFacts, e.Method, e.Elapsed.Round(time.Microsecond))
+		}
 		for rank, f := range e.TopFacts(*top) {
 			fact := d.Fact(f)
-			fmt.Printf("  %2d. %-60s %.6f\n", rank+1, factLabel(fact), e.Score(f))
+			if e.Method == repro.MethodApprox {
+				est := e.Approx[f]
+				fmt.Printf("  %2d. %-60s %.6f  95%% CI [%.6f, %.6f]\n",
+					rank+1, factLabel(fact), est.Value, est.CILow, est.CIHigh)
+			} else {
+				fmt.Printf("  %2d. %-60s %.6f\n", rank+1, factLabel(fact), e.Score(f))
+			}
 		}
 		fmt.Println()
 	}

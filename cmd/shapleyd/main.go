@@ -57,6 +57,10 @@ func main() {
 		fsync    = flag.String("fsync", "every", "WAL sync policy for persistent stores: always, every, every=N, or onclose")
 		reqTO    = flag.Duration("request-timeout", 0, "per-request deadline for explain/update (0 = none); expired requests get 504")
 		inflight = flag.Int("max-inflight", 0, "max concurrently executing requests per work route (0 = unbounded); excess sheds with 429 + Retry-After")
+		ebudget  = flag.Duration("explain-budget", 0, "per-explain exact-attempt deadline before degrading to sampled estimates with confidence intervals (0 = no anytime tier)")
+		emaxn    = flag.Int("explain-max-nodes", 0, "per-explain compiled-circuit node budget before degrading to sampled estimates (0 = no node trigger)")
+		aminsamp = flag.Int("approx-min-samples", 0, "sampling fallback's minimum permutation count (0 = sampler default)")
+		atarget  = flag.Float64("approx-target-ci", 0, "sampling fallback's target 95%-CI half-width, in (0,1) (0 = sampler default)")
 	)
 	flag.Parse()
 
@@ -83,6 +87,12 @@ func main() {
 			Strategy:         strategy,
 			Storage:          *store,
 			IndexBudget:      *indexes,
+			Budget: repro.ExplainBudget{
+				Deadline:   *ebudget,
+				MaxNodes:   *emaxn,
+				MinSamples: *aminsamp,
+				TargetCI:   *atarget,
+			},
 		},
 	}
 	if err := cfg.Options.Validate(); err != nil {

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/db"
+	"repro/internal/sampling"
+)
+
+// StageApprox is the pipeline's anytime fallback stage: Monte Carlo
+// permutation sampling over the already-grounded lineage circuit, run when
+// StageCompile or StageShapley exceeds a request's compute budget (or when
+// the request asks for approximation outright). Unlike the exact stages it
+// needs no knowledge compilation — it evaluates the lineage directly — so it
+// always produces an answer, with per-fact 95% confidence intervals instead
+// of exact rationals.
+const StageApprox StageName = "approx"
+
+// Estimate is one fact's sampled Shapley value with a 95% confidence
+// interval (re-exported from internal/sampling).
+type Estimate = sampling.Estimate
+
+// ExplainMode says how a budgeted request wants exactness traded for
+// latency.
+type ExplainMode uint8
+
+const (
+	// ModeAuto (the default) tries the exact pipeline within the budget and
+	// falls back to sampling when it is exceeded.
+	ModeAuto ExplainMode = iota
+	// ModeExact disables the sampling fallback even when budget knobs are
+	// set: budget exhaustion degrades to the CNF Proxy path as before.
+	ModeExact
+	// ModeApproximate skips the exact attempt and samples immediately.
+	ModeApproximate
+)
+
+func (m ExplainMode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeApproximate:
+		return "approximate"
+	default:
+		return "auto"
+	}
+}
+
+// ParseExplainMode parses "auto" (or ""), "exact", or "approximate"
+// ("approx" is accepted as shorthand).
+func ParseExplainMode(s string) (ExplainMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return ModeAuto, nil
+	case "exact":
+		return ModeExact, nil
+	case "approx", "approximate":
+		return ModeApproximate, nil
+	}
+	return ModeAuto, fmt.Errorf("core: unknown explain mode %q (want auto, exact, or approximate)", s)
+}
+
+// ExplainBudget is a per-request compute budget for one explanation: how
+// much the exact pipeline may spend before the anytime tier answers with
+// sampled estimates instead. The zero value disables the tier entirely
+// (requests behave exactly as before this stage existed).
+type ExplainBudget struct {
+	// MaxNodes bounds the compiled d-DNNF size for the exact attempt; past
+	// it, compilation aborts and the request degrades to sampling. Zero
+	// defers to the pipeline's own MaxNodes.
+	MaxNodes int
+	// Deadline bounds the exact attempt's wall clock (layered over the
+	// caller's context, like ShapleyStage's stage deadline); zero means no
+	// per-request deadline.
+	Deadline time.Duration
+	// MinSamples floors the sampler's permutation count (≤ 0 = the sampling
+	// default); the estimate after exactly MinSamples permutations is
+	// deterministic given the seed.
+	MinSamples int
+	// TargetCI is the 95%-CI half-width the sampler refines toward after
+	// MinSamples (0 = the sampling default; ≥ 1 disables refinement).
+	TargetCI float64
+	// Mode picks the degradation policy; see ExplainMode.
+	Mode ExplainMode
+	// Seed perturbs the canonical lineage-derived sampling seed (0 = the
+	// canonical seed). Runs with equal lineage, budget, and seed reproduce
+	// bit-identical estimates.
+	Seed int64
+}
+
+// Enabled reports whether the budget activates the sampling fallback: an
+// explicit approximate mode, or any exhaustion trigger (node budget or
+// deadline) outside ModeExact.
+func (b ExplainBudget) Enabled() bool {
+	if b.Mode == ModeExact {
+		return false
+	}
+	return b.Mode == ModeApproximate || b.MaxNodes > 0 || b.Deadline > 0
+}
+
+// ApproxResult is StageApprox's output: sampled per-fact estimates with
+// confidence intervals and the sampling provenance.
+type ApproxResult struct {
+	// Estimates maps every endogenous fact of the lineage to its sampled
+	// value with 95% CI bounds.
+	Estimates map[db.FactID]Estimate
+	// Permutations and Evals are the sampling spend.
+	Permutations int
+	Evals        int
+	// Seed reproduces the run (derived from the lineage fingerprint and the
+	// budget's Seed override).
+	Seed int64
+}
+
+// Ranking returns the facts by decreasing estimated value, ties broken by
+// ascending fact ID — the same convention as the exact and proxy rankings.
+func (a *ApproxResult) Ranking() []db.FactID {
+	ids := make([]db.FactID, 0, len(a.Estimates))
+	for id := range a.Estimates {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		vi, vj := a.Estimates[ids[i]].Value, a.Estimates[ids[j]].Value
+		if vi != vj {
+			return vi > vj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// ApproxStage runs the anytime fallback: it flattens the endogenous lineage
+// into a sampling game, derives a deterministic seed from the game's
+// rename-invariant fingerprint mixed with the budget's Seed override, and
+// samples Shapley estimates with 95% confidence intervals. Endogenous facts
+// absent from the lineage get exact-zero estimates (they cannot contribute),
+// so every requested fact is covered. The only error is ctx cancellation.
+func ApproxStage(ctx context.Context, elin *circuit.Node, endo []db.FactID, b ExplainBudget) (*ApproxResult, error) {
+	game := sampling.NewGame(elin)
+	seed := sampling.DeriveSeed(game.Fingerprint(), b.Seed)
+	ap, err := game.MonteCarloCI(ctx, seed, sampling.Config{
+		MinPermutations: b.MinSamples,
+		TargetCI:        b.TargetCI,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ApproxResult{
+		Estimates:    ap.Estimates,
+		Permutations: ap.Permutations,
+		Evals:        ap.Evals,
+		Seed:         ap.Seed,
+	}
+	for _, id := range endo {
+		if _, ok := res.Estimates[id]; !ok {
+			res.Estimates[id] = Estimate{}
+		}
+	}
+	return res, nil
+}
+
+// hybridBudgetedAt is HybridAt's anytime branch: run the exact pipeline
+// under the request budget and degrade to ApproxStage on exhaustion instead
+// of to the CNF Proxy. ModeApproximate skips the exact attempt entirely.
+func hybridBudgetedAt(ctx context.Context, elin *circuit.Node, endo []db.FactID, epoch uint64, art *Artifacts, opts HybridOptions) (*HybridResult, error) {
+	start := time.Now()
+	b := opts.Budget
+	if b.Mode != ModeApproximate {
+		popts := PipelineOptions{
+			CompileTimeout:   opts.Timeout,
+			ShapleyTimeout:   opts.Timeout,
+			CompileMaxNodes:  opts.MaxNodes,
+			Workers:          opts.Workers,
+			CompileWorkers:   opts.CompileWorkers,
+			NoCanonicalCache: opts.NoCanonicalCache,
+			Strategy:         opts.Strategy,
+			Cache:            opts.Cache,
+			CacheOwner:       opts.CacheOwner,
+		}
+		if b.MaxNodes > 0 && (popts.CompileMaxNodes == 0 || b.MaxNodes < popts.CompileMaxNodes) {
+			popts.CompileMaxNodes = b.MaxNodes
+		}
+		// The budget deadline is layered over the caller's context, exactly
+		// like ShapleyStage's stage deadline: when it fires we degrade, when
+		// the caller's own context fires we abort.
+		ectx := ctx
+		if b.Deadline > 0 {
+			var cancel context.CancelFunc
+			ectx, cancel = context.WithTimeout(ctx, b.Deadline)
+			defer cancel()
+		}
+		res, err := ExplainCircuitAt(ectx, elin, endo, epoch, art, popts)
+		if err == nil {
+			return &HybridResult{
+				Method:  MethodExact,
+				Values:  res.Values,
+				Ranking: res.Values.Ranking(),
+				Exact:   res,
+				Elapsed: time.Since(start),
+			}, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+	}
+	approx, err := ApproxStage(ctx, elin, endo, b)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridResult{
+		Method:  MethodApprox,
+		Approx:  approx,
+		Ranking: approx.Ranking(),
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -21,22 +21,32 @@ const (
 	// MethodProxy means the exact pipeline timed out and the ranking was
 	// produced by CNF Proxy.
 	MethodProxy
+	// MethodApprox means a request budget was exhausted (or approximation
+	// was requested outright) and the values are Monte Carlo estimates with
+	// 95% confidence intervals (see ApproxResult).
+	MethodApprox
 )
 
 func (m Method) String() string {
-	if m == MethodExact {
+	switch m {
+	case MethodExact:
 		return "exact"
+	case MethodApprox:
+		return "approximate"
+	default:
+		return "cnf-proxy"
 	}
-	return "cnf-proxy"
 }
 
 // HybridResult is the outcome of the hybrid strategy: exact values when the
-// exact pipeline succeeded, otherwise a CNF Proxy ranking.
+// exact pipeline succeeded, otherwise a CNF Proxy ranking — or, under an
+// enabled ExplainBudget, sampled estimates with confidence intervals.
 type HybridResult struct {
 	Method  Method
-	Values  Values      // exact Shapley values; nil when Method == MethodProxy
-	Proxy   ProxyValues // proxy scores; nil when Method == MethodExact
-	Ranking []db.FactID // facts by decreasing contribution
+	Values  Values        // exact Shapley values; nil unless Method == MethodExact
+	Proxy   ProxyValues   // proxy scores; nil unless Method == MethodProxy
+	Approx  *ApproxResult // sampled estimates; nil unless Method == MethodApprox
+	Ranking []db.FactID   // facts by decreasing contribution
 	Exact   *PipelineResult
 	Elapsed time.Duration
 }
@@ -64,6 +74,12 @@ type HybridOptions struct {
 	// CacheOwner tags Cache entries with the fact-ID universe's identity
 	// (the database ID), scoping fact-set invalidation; 0 = untagged.
 	CacheOwner uint64
+	// Budget, when Enabled, swaps the degradation target: exceeding it falls
+	// back to StageApprox (sampled estimates with confidence intervals)
+	// instead of the CNF Proxy, and ModeApproximate skips the exact attempt
+	// entirely. The zero budget leaves the classic exact→proxy hybrid
+	// untouched.
+	Budget ExplainBudget
 }
 
 // Hybrid runs the exact computation under a time budget and falls back to
@@ -82,6 +98,9 @@ func Hybrid(ctx context.Context, elin *circuit.Node, endo []db.FactID, opts Hybr
 // session passes each tuple's Artifacts across Explain calls so that only
 // the stages invalidated by updates are recomputed.
 func HybridAt(ctx context.Context, elin *circuit.Node, endo []db.FactID, epoch uint64, art *Artifacts, opts HybridOptions) (*HybridResult, error) {
+	if opts.Budget.Enabled() {
+		return hybridBudgetedAt(ctx, elin, endo, epoch, art, opts)
+	}
 	start := time.Now()
 	popts := PipelineOptions{
 		CompileTimeout:   opts.Timeout,

@@ -246,13 +246,14 @@ type Recorder struct {
 }
 
 type routeRecord struct {
-	count   int64
-	errors  int64
-	sheds   int64           // requests refused by admission control (429)
-	panics  int64           // handler panics recovered into 500s
-	timeout int64           // requests cut off by the per-request deadline (504)
-	samples []time.Duration // ring buffer of the last sampleCap latencies
-	next    int             // ring write cursor once len == sampleCap
+	count    int64
+	errors   int64
+	sheds    int64           // requests refused by admission control (429)
+	panics   int64           // handler panics recovered into 500s
+	timeout  int64           // requests cut off by the per-request deadline (504)
+	degraded int64           // requests answered approximately after budget exhaustion
+	samples  []time.Duration // ring buffer of the last sampleCap latencies
+	next     int             // ring write cursor once len == sampleCap
 }
 
 // DefaultLatencyWindow is the per-route latency ring size used when
@@ -322,13 +323,24 @@ func (r *Recorder) TimedOut(route string) {
 	r.route(route).timeout++
 }
 
+// Degraded counts one request that exhausted its compute budget and was
+// answered with sampled estimates instead of exact values. Degraded requests
+// still succeed (they flow through Observe with a 2xx status); this counter
+// tracks how often the anytime tier is carrying the load.
+func (r *Recorder) Degraded(route string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.route(route).degraded++
+}
+
 // RouteStats is one route's snapshot from Recorder.Snapshot.
 type RouteStats struct {
 	Route         string
 	Count, Errors int64
-	// Sheds, Panics, and Timeouts break out the degradation modes: refused
-	// by admission control, recovered handler panics, deadline expiries.
-	Sheds, Panics, Timeouts int64
+	// Sheds, Panics, Timeouts, and Degraded break out the degradation modes:
+	// refused by admission control, recovered handler panics, deadline
+	// expiries, and budget exhaustion answered by the anytime sampling tier.
+	Sheds, Panics, Timeouts, Degraded int64
 	// RatePerSec is lifetime completed requests over the recorder's uptime.
 	RatePerSec float64
 	Latency    LatencySummary
@@ -348,6 +360,7 @@ func (r *Recorder) Snapshot() []RouteStats {
 			Sheds:    rec.sheds,
 			Panics:   rec.panics,
 			Timeouts: rec.timeout,
+			Degraded: rec.degraded,
 			Latency:  SummarizeLatency(rec.samples),
 		}
 		if uptime > 0 {

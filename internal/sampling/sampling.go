@@ -6,6 +6,9 @@
 package sampling
 
 import (
+	"context"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -16,11 +19,16 @@ import (
 
 // Game is a Boolean cooperative game over the distinct facts of a lineage
 // circuit, with a fast slice-based evaluator (the circuit is flattened to a
-// postorder program once, then evaluated thousands of times).
+// postorder program once, then evaluated thousands of times). Each Game owns
+// its random source: estimates drawn through the per-game methods are a pure
+// function of the game and its seed (see Reseed), never of global process
+// state. A Game is not safe for concurrent use.
 type Game struct {
 	Players []db.FactID
 	prog    []instr
 	varSlot map[db.FactID]int
+	rng     *rand.Rand
+	evalBuf []bool // reusable value slots for the sampling hot loop
 }
 
 type instr struct {
@@ -58,11 +66,65 @@ func NewGame(lineage *circuit.Node) *Game {
 		return idx
 	}
 	flatten(lineage)
+	g.rng = rand.New(rand.NewSource(DeriveSeed(g.Fingerprint(), 0)))
 	return g
 }
 
 // NumPlayers returns the number of distinct facts in the lineage.
 func (g *Game) NumPlayers() int { return len(g.Players) }
+
+// Reseed resets the game's random source. Two games over the same lineage
+// reseeded identically produce identical estimate streams, which is what the
+// calibration tests and the anytime serving tier's reproducibility contract
+// rely on.
+func (g *Game) Reseed(seed int64) { g.rng = rand.New(rand.NewSource(seed)) }
+
+// Rand returns the game's random source (for the free-function samplers
+// below, which predate per-game seeding and still take an explicit source).
+func (g *Game) Rand() *rand.Rand { return g.rng }
+
+// Fingerprint hashes the flattened game program — gate kinds, constant
+// values, variable slots, and child indices, all expressed in player-slot
+// space rather than raw fact IDs — so two lineages that are isomorphic
+// modulo fact renaming fingerprint identically. It is the canonical lineage
+// key the anytime tier derives deterministic sampling seeds from.
+func (g *Game) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 16)
+	put := func(v uint64) {
+		buf = buf[:0]
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(v>>(8*i)))
+		}
+		h.Write(buf)
+	}
+	put(uint64(len(g.Players)))
+	for _, in := range g.prog {
+		put(uint64(in.kind))
+		if in.val {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint64(in.slot))
+		put(uint64(len(in.children)))
+		for _, c := range in.children {
+			put(uint64(c))
+		}
+	}
+	return h.Sum64()
+}
+
+// DeriveSeed mixes a lineage fingerprint with a request-supplied override
+// into a sampling seed (splitmix64 finalizer). override == 0 yields the
+// canonical per-lineage seed; any other value perturbs it reproducibly, so a
+// client can ask for an independent estimate without losing determinism.
+func DeriveSeed(fingerprint uint64, override int64) int64 {
+	z := fingerprint + uint64(override)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
 
 // Eval evaluates the game on a coalition given as a presence slice aligned
 // with Players.
@@ -109,6 +171,216 @@ func (g *Game) EvalSet(coalition map[db.FactID]bool) bool {
 		present[i] = coalition[p]
 	}
 	return g.Eval(present)
+}
+
+// evalReusing is Eval over a game-owned value buffer, so the sampling loops
+// do not allocate per evaluation.
+func (g *Game) evalReusing(present []bool) bool {
+	if cap(g.evalBuf) < len(g.prog) {
+		g.evalBuf = make([]bool, len(g.prog))
+	}
+	vals := g.evalBuf[:len(g.prog)]
+	for i, in := range g.prog {
+		switch in.kind {
+		case circuit.KindVar:
+			vals[i] = present[in.slot]
+		case circuit.KindConst:
+			vals[i] = in.val
+		case circuit.KindNot:
+			vals[i] = !vals[in.children[0]]
+		case circuit.KindAnd:
+			v := true
+			for _, c := range in.children {
+				if !vals[c] {
+					v = false
+					break
+				}
+			}
+			vals[i] = v
+		case circuit.KindOr:
+			v := false
+			for _, c := range in.children {
+				if vals[c] {
+					v = true
+					break
+				}
+			}
+			vals[i] = v
+		}
+	}
+	if len(vals) == 0 {
+		return false
+	}
+	return vals[len(vals)-1]
+}
+
+// Estimate is one fact's sampled Shapley value with a 95% confidence
+// interval. The interval is a normal approximation over the permutation
+// sample — Value is always inside [CILow, CIHigh], and all three are finite.
+type Estimate struct {
+	Value  float64
+	CILow  float64
+	CIHigh float64
+}
+
+// Config bounds a MonteCarloCI run.
+type Config struct {
+	// MinPermutations is the floor of player permutations sampled before any
+	// stopping rule applies (≤ 0 = DefaultMinPermutations). The estimate
+	// after exactly MinPermutations is deterministic given the game's seed.
+	MinPermutations int
+	// MaxPermutations caps the CI refinement loop (≤ 0 = 16·MinPermutations).
+	MaxPermutations int
+	// TargetCI is the 95%-CI half-width at which refinement stops, checked
+	// against the widest per-fact interval after each batch. ≤ 0 uses
+	// DefaultTargetCI; ≥ 1 disables refinement entirely (the run is exactly
+	// MinPermutations, the fully deterministic mode the calibration tests
+	// use).
+	TargetCI float64
+}
+
+// Defaults for Config.
+const (
+	DefaultMinPermutations = 256
+	DefaultTargetCI        = 0.05
+)
+
+func (c Config) withDefaults() Config {
+	if c.MinPermutations <= 0 {
+		c.MinPermutations = DefaultMinPermutations
+	}
+	if c.MaxPermutations <= 0 {
+		c.MaxPermutations = 16 * c.MinPermutations
+	}
+	if c.MaxPermutations < c.MinPermutations {
+		c.MaxPermutations = c.MinPermutations
+	}
+	if c.TargetCI <= 0 {
+		c.TargetCI = DefaultTargetCI
+	}
+	return c
+}
+
+// Approx is a full sampled explanation: every player's estimate with error
+// bars, plus the sampling provenance (how many permutations and evaluations
+// were spent, and the seed that reproduces the run).
+type Approx struct {
+	Estimates    map[db.FactID]Estimate
+	Permutations int
+	Evals        int
+	Seed         int64
+}
+
+// ciBatch is how many permutations MonteCarloCI samples between context and
+// target-CI checks.
+const ciBatch = 64
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// MonteCarloCI approximates every player's Shapley value by permutation
+// sampling [Mann & Shapley 1960] with per-fact 95% confidence intervals: it
+// draws cfg.MinPermutations permutations, then refines in batches until the
+// widest interval's half-width reaches cfg.TargetCI or cfg.MaxPermutations
+// is spent. Each permutation contributes one marginal per player (−1, 0, or
+// +1 for a Boolean game), so the CI is the normal approximation over those
+// marginals. The run consumes the game's seeded random source (see Reseed):
+// the same game, seed, and config produce bit-identical estimates. ctx is
+// checked between batches; cancellation returns the context's error and no
+// estimates.
+func (g *Game) MonteCarloCI(ctx context.Context, seed int64, cfg Config) (*Approx, error) {
+	cfg = cfg.withDefaults()
+	g.Reseed(seed)
+	n := g.NumPlayers()
+	ap := &Approx{Estimates: make(map[db.FactID]Estimate, n), Seed: seed}
+	if n == 0 {
+		return ap, nil
+	}
+
+	// Per player: Σ marginals and the count of nonzero marginals. Marginals
+	// are ±1, so the nonzero count is also Σ marginal², which is all the
+	// variance needs.
+	sum := make([]int64, n)
+	nonzero := make([]int64, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	present := make([]bool, n)
+
+	perms := 0
+	for perms < cfg.MinPermutations || (perms < cfg.MaxPermutations && cfg.TargetCI < 1 && g.widestHalfWidth(sum, nonzero, perms) > cfg.TargetCI) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch := ciBatch
+		if perms < cfg.MinPermutations && cfg.MinPermutations-perms < batch {
+			batch = cfg.MinPermutations - perms
+		}
+		if cfg.MaxPermutations-perms < batch {
+			batch = cfg.MaxPermutations - perms
+		}
+		for r := 0; r < batch; r++ {
+			g.rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			for i := range present {
+				present[i] = false
+			}
+			prev := g.evalReusing(present)
+			for _, p := range perm {
+				present[p] = true
+				cur := g.evalReusing(present)
+				if cur != prev {
+					if cur {
+						sum[p]++
+					} else {
+						sum[p]--
+					}
+					nonzero[p]++
+				}
+				prev = cur
+			}
+		}
+		perms += batch
+		ap.Evals += batch * (n + 1)
+	}
+
+	ap.Permutations = perms
+	for i, p := range g.Players {
+		ap.Estimates[p] = estimateFrom(sum[i], nonzero[i], perms)
+	}
+	return ap, nil
+}
+
+// estimateFrom turns one player's marginal tallies into a 95% CI estimate.
+func estimateFrom(sum, nonzero int64, perms int) Estimate {
+	r := float64(perms)
+	mean := float64(sum) / r
+	hw := 1.0 // conservative interval when variance is undefined
+	if perms >= 2 {
+		// Sample variance of ±1/0 marginals: (Σm² − (Σm)²/R)/(R−1).
+		variance := (float64(nonzero) - float64(sum)*float64(sum)/r) / (r - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		hw = z95 * math.Sqrt(variance/r)
+	}
+	return Estimate{Value: mean, CILow: mean - hw, CIHigh: mean + hw}
+}
+
+// widestHalfWidth is the refinement loop's stopping statistic: the largest
+// per-player 95% half-width at the current sample size.
+func (g *Game) widestHalfWidth(sum, nonzero []int64, perms int) float64 {
+	if perms < 2 {
+		return math.Inf(1)
+	}
+	widest := 0.0
+	for i := range sum {
+		e := estimateFrom(sum[i], nonzero[i], perms)
+		if hw := e.CIHigh - e.Value; hw > widest {
+			widest = hw
+		}
+	}
+	return widest
 }
 
 // MonteCarlo approximates the Shapley value of every player with a budget of

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -178,5 +179,109 @@ func TestSortedPlayers(t *testing.T) {
 	got := SortedPlayers(m)
 	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Errorf("SortedPlayers = %v", got)
+	}
+}
+
+func TestGameHasInjectedRand(t *testing.T) {
+	g, _ := flightsGame(t)
+	if g.Rand() == nil {
+		t.Fatal("NewGame left the game without a rand source")
+	}
+	g2, _ := flightsGame(t)
+	// Same lineage → same fingerprint → same default seed: the two games'
+	// generators produce identical streams.
+	if g.Rand().Int63() != g2.Rand().Int63() {
+		t.Error("identical games seeded differently")
+	}
+	g.Reseed(99)
+	g2.Reseed(99)
+	if g.Rand().Int63() != g2.Rand().Int63() {
+		t.Error("Reseed(99) gave divergent streams")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	g, _ := flightsGame(t)
+	g2, _ := flightsGame(t)
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Error("rebuilding the same lineage changed the fingerprint")
+	}
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Error("fingerprint is not idempotent")
+	}
+}
+
+func TestDeriveSeedMixesOverride(t *testing.T) {
+	fp := uint64(0x1234)
+	base := DeriveSeed(fp, 0)
+	if base == DeriveSeed(fp, 1) || base == DeriveSeed(fp, -1) {
+		t.Error("override did not change the derived seed")
+	}
+	if DeriveSeed(fp, 5) != DeriveSeed(fp, 5) {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	if DeriveSeed(fp, 0) == DeriveSeed(fp+1, 0) {
+		t.Error("fingerprint did not change the derived seed")
+	}
+}
+
+func TestMonteCarloCIDeterministicAndCalibratedShape(t *testing.T) {
+	g, _ := flightsGame(t)
+	cfg := Config{MinPermutations: 300, TargetCI: 1}
+	a, err := g.MonteCarloCI(context.Background(), 17, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.MonteCarloCI(context.Background(), 17, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Permutations != 300 || a.Seed != 17 {
+		t.Fatalf("spend = %d perms seed %d, want 300 perms seed 17", a.Permutations, a.Seed)
+	}
+	for _, p := range g.Players {
+		if a.Estimates[p] != b.Estimates[p] {
+			t.Fatalf("same seed diverged on %d: %+v vs %+v", p, a.Estimates[p], b.Estimates[p])
+		}
+		e := a.Estimates[p]
+		if e.CILow > e.Value || e.Value > e.CIHigh {
+			t.Errorf("player %d: value %v outside CI [%v, %v]", p, e.Value, e.CILow, e.CIHigh)
+		}
+	}
+	exact := ExactBySubsets(g)
+	for _, p := range g.Players {
+		if math.Abs(a.Estimates[p].Value-exact[p]) > 0.1 {
+			t.Errorf("player %d: estimate %v far from exact %v", p, a.Estimates[p].Value, exact[p])
+		}
+	}
+}
+
+func TestMonteCarloCIRefinesTowardTarget(t *testing.T) {
+	g, _ := flightsGame(t)
+	a, err := g.MonteCarloCI(context.Background(), 3, Config{MinPermutations: 64, TargetCI: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Permutations <= 64 {
+		t.Fatalf("refinement never ran past the floor (%d permutations)", a.Permutations)
+	}
+	widest := 0.0
+	for _, p := range g.Players {
+		if hw := a.Estimates[p].CIHigh - a.Estimates[p].Value; hw > widest {
+			widest = hw
+		}
+	}
+	// Either the target was reached or the permutation ceiling stopped us.
+	if widest > 0.04 && a.Permutations < 16*64 {
+		t.Errorf("stopped at half-width %v with only %d permutations", widest, a.Permutations)
+	}
+}
+
+func TestMonteCarloCICancellation(t *testing.T) {
+	g, _ := flightsGame(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.MonteCarloCI(ctx, 1, Config{}); err == nil {
+		t.Fatal("cancelled context produced estimates")
 	}
 }

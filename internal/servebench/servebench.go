@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -57,6 +58,16 @@ type Options struct {
 	// Repro configures the in-process server's sessions and the cold
 	// reference computation.
 	Repro repro.Options
+	// BudgetMs, when positive, adds a budgeted phase per concurrency level:
+	// explains carrying budget_ms, recording the exact/approximate mix and
+	// the fallback latency. Budgeted responses may be approximate as long as
+	// they are marked; unmarked degradation still fails the run.
+	BudgetMs float64
+	// AllowApprox permits marked approximate answers in the quiesced value
+	// cross-check (for driving a deliberately starved server, where even
+	// unbudgeted requests degrade). Exact answers are still checked
+	// big.Rat-identically.
+	AllowApprox bool
 }
 
 func (o Options) withDefaults() Options {
@@ -80,12 +91,21 @@ func (o Options) withDefaults() Options {
 
 // Level is one (mode, concurrency) measurement.
 type Level struct {
-	// Mode is "open-per-request", "pooled", or "mixed-pooled".
+	// Mode is "open-per-request", "pooled", "mixed-pooled", or
+	// "budgeted-pooled".
 	Mode    string `json:"mode"`
 	Clients int    `json:"clients"`
 	// Explains and Updates count completed requests across all clients.
 	Explains int `json:"explains"`
 	Updates  int `json:"updates,omitempty"`
+	// ExactExplains and ApproxExplains split the budgeted phase's explains by
+	// outcome: answered exactly within budget vs degraded to marked sampled
+	// estimates.
+	ExactExplains  int `json:"exact_explains,omitempty"`
+	ApproxExplains int `json:"approx_explains,omitempty"`
+	// FallbackLatency summarizes the latency of the degraded (approximate)
+	// responses alone — the tail the anytime tier bounds.
+	FallbackLatency *metrics.LatencySummary `json:"fallback_latency,omitempty"`
 	// Retries counts requests of this phase answered 429/503 and retried
 	// after backoff (shedding shows up here, not as silent errors).
 	Retries int64 `json:"retries,omitempty"`
@@ -129,6 +149,10 @@ type Report struct {
 	// Retries is the run-wide total of 429/503 responses absorbed by the
 	// client's backoff-and-retry loop.
 	Retries int64 `json:"retries"`
+	// Degraded is the server's final /v1/explain degraded counter: requests
+	// that exhausted their budget and were answered with marked sampled
+	// estimates instead of exact values.
+	Degraded int64 `json:"degraded,omitempty"`
 }
 
 // Retry policy for shed (429) and degraded/unavailable (503) responses:
@@ -254,7 +278,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	// compile-warm too — the head-to-head isolates grounding + session
 	// reuse, which is exactly what the pool adds).
 	for _, noPool := range []bool{true, false} {
-		if _, _, err := postExplain(ctx, client, base, opts, noPool); err != nil {
+		if _, _, err := postExplain(ctx, client, base, opts, noPool, 0); err != nil {
 			return nil, err
 		}
 	}
@@ -293,14 +317,22 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			rep.Levels = append(rep.Levels, mixed)
 		}
 
-		// Quiesced cross-check through both paths: the update traffic was
-		// net-zero, so served values must match the cold reference.
-		for _, noPool := range []bool{false, true} {
-			resp, _, err := postExplain(ctx, client, base, opts, noPool)
+		if opts.BudgetMs > 0 {
+			budgeted, err := runBudgetedPhase(ctx, client, base, opts, ref, c)
 			if err != nil {
 				return nil, err
 			}
-			if err := checkAgainstReference(ref, resp); err != nil {
+			rep.Levels = append(rep.Levels, budgeted)
+		}
+
+		// Quiesced cross-check through both paths: the update traffic was
+		// net-zero, so served values must match the cold reference.
+		for _, noPool := range []bool{false, true} {
+			resp, _, err := postExplain(ctx, client, base, opts, noPool, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkAgainstReference(ref, resp, opts.AllowApprox); err != nil {
 				return nil, fmt.Errorf("servebench: %d clients, nopool=%v: %w", c, noPool, err)
 			}
 			rep.ValueChecks++
@@ -313,6 +345,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		return nil, err
 	}
 	rep.Pool, rep.Cache = st.Pool, st.Cache
+	for _, rt := range st.Routes {
+		rep.Degraded += rt.Degraded
+	}
 	rep.Retries = client.retries.Load()
 	return rep, nil
 }
@@ -329,7 +364,7 @@ func runExplainPhase(ctx context.Context, client *benchClient, base string, opts
 		go func(c int) {
 			defer wg.Done()
 			for r := 0; r < opts.Requests; r++ {
-				_, d, err := postExplain(ctx, client, base, opts, noPool)
+				_, d, err := postExplain(ctx, client, base, opts, noPool, 0)
 				if err != nil {
 					errs <- err
 					return
@@ -416,7 +451,7 @@ func runMixedPhase(ctx context.Context, client *benchClient, base string, opts O
 					updates[c]++
 					continue
 				}
-				_, d, err := postExplain(ctx, client, base, opts, false)
+				_, d, err := postExplain(ctx, client, base, opts, false, 0)
 				if err != nil {
 					errs <- err
 					return
@@ -453,8 +488,87 @@ func runMixedPhase(ctx context.Context, client *benchClient, base string, opts O
 	return lv, all, nil
 }
 
-func postExplain(ctx context.Context, client *benchClient, base string, opts Options, noPool bool) (*wire.ExplainResponse, time.Duration, error) {
-	body, err := json.Marshal(wire.ExplainRequest{Dataset: opts.Dataset, Query: opts.Query, NoPool: noPool})
+// runBudgetedPhase fires explains carrying budget_ms through the pooled
+// path, splitting the outcomes into exact-within-budget and degraded
+// (marked approximate) and summarizing the degraded responses' latency
+// separately. Every response is validated: an exact answer must match the
+// cold reference, a degraded one must be marked with samples and finite
+// ordered confidence bounds — an unmarked approximation fails the run.
+func runBudgetedPhase(ctx context.Context, client *benchClient, base string, opts Options, ref map[string]string, clients int) (Level, error) {
+	lats := make([][]time.Duration, clients)
+	fallback := make([][]time.Duration, clients)
+	exact := make([]int, clients)
+	errs := make(chan error, clients)
+	retries0 := client.retries.Load()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < opts.Requests; r++ {
+				resp, d, err := postExplain(ctx, client, base, opts, false, opts.BudgetMs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := checkAgainstReference(ref, resp, true); err != nil {
+					errs <- fmt.Errorf("budgeted response: %w", err)
+					return
+				}
+				lats[c] = append(lats[c], d)
+				if approximate(resp) {
+					fallback[c] = append(fallback[c], d)
+				} else {
+					exact[c]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return Level{}, err
+	}
+	elapsed := time.Since(start)
+	var all, fb []time.Duration
+	nexact := 0
+	for c := range lats {
+		all = append(all, lats[c]...)
+		fb = append(fb, fallback[c]...)
+		nexact += exact[c]
+	}
+	lv := Level{
+		Mode:           "budgeted-pooled",
+		Clients:        clients,
+		Explains:       len(all),
+		ExactExplains:  nexact,
+		ApproxExplains: len(fb),
+		Retries:        client.retries.Load() - retries0,
+		ElapsedMs:      float64(elapsed) / float64(time.Millisecond),
+		ThroughputRPS:  float64(len(all)) / elapsed.Seconds(),
+		Latency:        metrics.SummarizeLatency(all),
+	}
+	if len(fb) > 0 {
+		s := metrics.SummarizeLatency(fb)
+		lv.FallbackLatency = &s
+	}
+	return lv, nil
+}
+
+// approximate reports whether any tuple of the response degraded to sampled
+// estimates.
+func approximate(resp *wire.ExplainResponse) bool {
+	for _, tup := range resp.Tuples {
+		if tup.Approximate {
+			return true
+		}
+	}
+	return false
+}
+
+func postExplain(ctx context.Context, client *benchClient, base string, opts Options, noPool bool, budgetMs float64) (*wire.ExplainResponse, time.Duration, error) {
+	body, err := json.Marshal(wire.ExplainRequest{Dataset: opts.Dataset, Query: opts.Query, NoPool: noPool, BudgetMs: budgetMs})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -501,14 +615,17 @@ func getStats(ctx context.Context, client *benchClient, base string) (*wire.Stat
 
 // coldReference computes the ground truth the served values are checked
 // against: a cold repro.Explain on a freshly built dataset, keyed by fact
-// content.
+// content. Any configured budget is stripped — the reference is exact even
+// when the driven server is deliberately starved.
 func coldReference(ctx context.Context, opts Options) (map[string]string, error) {
 	d, _ := flights.Build()
 	q, err := repro.ParseQuery(opts.Query)
 	if err != nil {
 		return nil, err
 	}
-	es, err := repro.Explain(ctx, d, q, opts.Repro)
+	ropts := opts.Repro
+	ropts.Budget = repro.ExplainBudget{}
+	es, err := repro.Explain(ctx, d, q, ropts)
 	if err != nil {
 		return nil, err
 	}
@@ -535,11 +652,44 @@ func contentKey(relation string, tuple []any) string {
 	return relation + "(" + strings.Join(parts, ",") + ")"
 }
 
-// checkAgainstReference verifies every served fact value is
-// big.Rat-identical (by exact rational string) to the cold reference.
-func checkAgainstReference(ref map[string]string, resp *wire.ExplainResponse) error {
+// checkAgainstReference verifies every served exact fact value is
+// big.Rat-identical (by exact rational string) to the cold reference. With
+// allowApprox, a tuple may instead be a marked approximation — then it must
+// carry a positive sample count and every fact must have finite, ordered
+// confidence bounds containing its score (unmarked approximations, or any
+// other non-exact method, always fail).
+func checkAgainstReference(ref map[string]string, resp *wire.ExplainResponse, allowApprox bool) error {
 	seen := 0
 	for _, tup := range resp.Tuples {
+		if tup.Approximate {
+			if !allowApprox {
+				return fmt.Errorf("served method %q where exact was required", tup.Method)
+			}
+			if tup.Method != "approximate" {
+				return fmt.Errorf("tuple marked approximate but method is %q", tup.Method)
+			}
+			if tup.Samples <= 0 {
+				return fmt.Errorf("approximate tuple reports %d samples", tup.Samples)
+			}
+			for _, f := range tup.Facts {
+				key := contentKey(f.Relation, f.Tuple)
+				if _, ok := ref[key]; !ok {
+					return fmt.Errorf("served fact %s not in the cold reference", key)
+				}
+				if f.CILow == nil || f.CIHigh == nil {
+					return fmt.Errorf("approximate fact %s missing confidence bounds", key)
+				}
+				lo, hi := *f.CILow, *f.CIHigh
+				if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+					return fmt.Errorf("approximate fact %s has non-finite bounds [%v, %v]", key, lo, hi)
+				}
+				if lo > hi || f.Score < lo || f.Score > hi {
+					return fmt.Errorf("approximate fact %s score %v outside its CI [%v, %v]", key, f.Score, lo, hi)
+				}
+				seen++
+			}
+			continue
+		}
 		if tup.Method != "exact" {
 			return fmt.Errorf("served method %q, want exact", tup.Method)
 		}

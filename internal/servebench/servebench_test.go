@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"repro"
 	"testing"
 )
 
@@ -83,5 +84,73 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), Options{Dataset: "tpch"}); err == nil {
 		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestRunBudgetedPhase drives the budgeted phase: with a budget_ms on every
+// request, each response must be exact-within-budget or a marked
+// approximation (validated per response), and the level records the mix.
+func TestRunBudgetedPhase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real HTTP load; skipped in -short mode")
+	}
+	rep, err := Run(context.Background(), Options{
+		Clients:     []int{2},
+		Requests:    4,
+		UpdateEvery: -1,
+		PoolSize:    4,
+		BudgetMs:    50,
+		Repro:       repro.Options{Budget: repro.ExplainBudget{MinSamples: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budgeted *Level
+	for i := range rep.Levels {
+		if rep.Levels[i].Mode == "budgeted-pooled" {
+			budgeted = &rep.Levels[i]
+		}
+	}
+	if budgeted == nil {
+		t.Fatalf("no budgeted-pooled level in %+v", rep.Levels)
+	}
+	if budgeted.Explains != 8 {
+		t.Errorf("budgeted explains = %d, want 8", budgeted.Explains)
+	}
+	if budgeted.ExactExplains+budgeted.ApproxExplains != budgeted.Explains {
+		t.Errorf("mix %d exact + %d approx ≠ %d explains",
+			budgeted.ExactExplains, budgeted.ApproxExplains, budgeted.Explains)
+	}
+	if budgeted.ApproxExplains > 0 && budgeted.FallbackLatency == nil {
+		t.Error("approx explains recorded but no fallback latency summary")
+	}
+}
+
+// TestRunStarvedServerAllowApprox is the degradation smoke in miniature: an
+// in-process server with a starvation node budget must answer every phase
+// with 200s, and with AllowApprox the quiesced cross-check accepts marked
+// approximations (and only marked ones).
+func TestRunStarvedServerAllowApprox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real HTTP load; skipped in -short mode")
+	}
+	rep, err := Run(context.Background(), Options{
+		Clients:     []int{2},
+		Requests:    3,
+		UpdateEvery: -1,
+		PoolSize:    4,
+		AllowApprox: true,
+		Repro: repro.Options{
+			Budget: repro.ExplainBudget{MaxNodes: 1, MinSamples: 64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ValueChecks != 2 {
+		t.Errorf("value checks = %d, want 2", rep.ValueChecks)
+	}
+	if rep.Degraded == 0 {
+		t.Error("starved server reported no degraded requests")
 	}
 }

@@ -200,11 +200,12 @@ func (p *Pool) release(e *entry) {
 	}
 }
 
-// Explain serves one explain request from the key's pooled session, holding
-// the dataset's read lock for the duration (explains of other queries over
-// the same database proceed concurrently; update application excludes
-// them).
-func (p *Pool) Explain(ctx context.Context, key Key) ([]repro.TupleExplanation, error) {
+// Explain serves one explain request from the key's pooled session under the
+// given per-request budget (the zero budget reproduces the session's
+// configured behavior), holding the dataset's read lock for the duration
+// (explains of other queries over the same database proceed concurrently;
+// update application excludes them).
+func (p *Pool) Explain(ctx context.Context, key Key, budget repro.ExplainBudget) ([]repro.TupleExplanation, error) {
 	e, err := p.acquire(key)
 	if err != nil {
 		return nil, err
@@ -216,6 +217,9 @@ func (p *Pool) Explain(ctx context.Context, key Key) ([]repro.TupleExplanation, 
 	lock := p.dbLock(key.Dataset)
 	lock.RLock()
 	defer lock.RUnlock()
+	if budget.Enabled() {
+		return e.sess.ExplainWithBudget(ctx, budget)
+	}
 	return e.sess.Explain(ctx)
 }
 

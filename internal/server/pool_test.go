@@ -49,7 +49,7 @@ func TestPoolSingleFlightAndReuse(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := p.Explain(ctx, flightsKey()); err != nil {
+			if _, err := p.Explain(ctx, flightsKey(), repro.ExplainBudget{}); err != nil {
 				errs <- err
 			}
 		}()
@@ -83,7 +83,7 @@ func TestPoolLRUEviction(t *testing.T) {
 		{Dataset: "flights", Query: flights.OneStopQuery().String()},
 	}
 	for _, k := range keys {
-		if _, err := p.Explain(ctx, k); err != nil {
+		if _, err := p.Explain(ctx, k, repro.ExplainBudget{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -92,7 +92,7 @@ func TestPoolLRUEviction(t *testing.T) {
 		t.Fatalf("after 3 keys at capacity 2: %+v, want 3 opens, 1 eviction, 2 sessions", st)
 	}
 	// keys[0] was evicted (LRU); explaining it again reopens.
-	if _, err := p.Explain(ctx, keys[0]); err != nil {
+	if _, err := p.Explain(ctx, keys[0], repro.ExplainBudget{}); err != nil {
 		t.Fatal(err)
 	}
 	st = p.Stats()
@@ -114,7 +114,7 @@ func TestPoolOpenFailure(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := p.Explain(ctx, bad)
+			_, err := p.Explain(ctx, bad, repro.ExplainBudget{})
 			errCount <- err
 		}()
 	}
@@ -128,7 +128,7 @@ func TestPoolOpenFailure(t *testing.T) {
 	if st := p.Stats(); st.Sessions != 0 || st.Opens != 0 {
 		t.Errorf("failed opens left state: %+v", st)
 	}
-	if _, err := p.Explain(ctx, flightsKey()); err != nil {
+	if _, err := p.Explain(ctx, flightsKey(), repro.ExplainBudget{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -218,7 +218,7 @@ func TestPoolUpdateCoalescing(t *testing.T) {
 
 	// The session absorbed all three inserts: the explanation matches a
 	// cold Explain on the mutated database.
-	es, err := p.Explain(ctx, key)
+	es, err := p.Explain(ctx, key, repro.ExplainBudget{})
 	if err != nil {
 		t.Fatal(err)
 	}

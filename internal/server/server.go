@@ -12,6 +12,17 @@
 //	POST /v1/update   — apply a batch of fact insertions/deletions
 //	GET  /v1/stats    — pool, compilation-cache, and request counters
 //	GET  /healthz     — liveness
+//
+// Explain requests may carry a per-request compute budget: "budget_ms"
+// bounds the exact pipeline's wall clock, "mode" picks the degradation
+// policy ("auto", "exact", or "approximate"), and "min_samples"/"seed"
+// steer the sampling fallback. A budgeted request that exhausts its budget
+// still answers 200: each degraded tuple is marked "approximate": true with
+// "samples" and per-fact "ci_low"/"ci_high" 95% confidence bounds instead
+// of exact rationals, and the route's "degraded" counter in /v1/stats
+// ticks. Unbudgeted requests are byte-identical to the pre-budget wire
+// format. Degraded pooled answers are upgraded to exact in the background,
+// so subsequent explains of the same key serve exact values.
 package server
 
 import (
@@ -263,6 +274,38 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// requestBudget overlays an explain request's budget knobs onto the server's
+// configured budget: budget_ms sets the exact attempt's deadline, mode the
+// degradation policy, min_samples the sampling floor, seed the sampling seed
+// perturbation. Absent knobs keep the configured values, so an unbudgeted
+// request on an unbudgeted server yields the zero (disabled) budget.
+func (s *Server) requestBudget(req wire.ExplainRequest) (repro.ExplainBudget, error) {
+	b := s.cfg.Options.Budget
+	if req.BudgetMs < 0 {
+		return b, fmt.Errorf("server: negative budget_ms %v", req.BudgetMs)
+	}
+	if req.MinSamples < 0 {
+		return b, fmt.Errorf("server: negative min_samples %d", req.MinSamples)
+	}
+	if req.BudgetMs > 0 {
+		b.Deadline = time.Duration(req.BudgetMs * float64(time.Millisecond))
+	}
+	if req.MinSamples > 0 {
+		b.MinSamples = req.MinSamples
+	}
+	if req.Seed != 0 {
+		b.Seed = req.Seed
+	}
+	if req.Mode != "" {
+		mode, err := repro.ParseExplainMode(req.Mode)
+		if err != nil {
+			return b, err
+		}
+		b.Mode = mode
+	}
+	return b, nil
+}
+
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
@@ -281,6 +324,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	budget, err := s.requestBudget(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	norm := q.String()
 
 	start := time.Now()
@@ -289,15 +337,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		// Open-per-request baseline: ground, explain, close — the cost a
 		// client pays without the pool. Holds the dataset read lock like
 		// any other explain.
+		opts := s.cfg.Options
+		opts.Budget = budget
 		lock.RLock()
-		es, err = repro.Explain(r.Context(), d, q, s.cfg.Options)
+		es, err = repro.Explain(r.Context(), d, q, opts)
 		lock.RUnlock()
 	} else {
-		es, err = s.pool.Explain(r.Context(), Key{Dataset: req.Dataset, Query: norm})
+		es, err = s.pool.Explain(r.Context(), Key{Dataset: req.Dataset, Query: norm}, budget)
 	}
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
+	}
+	for _, e := range es {
+		if e.Method == repro.MethodApprox {
+			s.rec.Degraded("/v1/explain")
+			break
+		}
 	}
 
 	lock.RLock()
@@ -467,6 +523,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Sheds:      rs.Sheds,
 			Panics:     rs.Panics,
 			Timeouts:   rs.Timeouts,
+			Degraded:   rs.Degraded,
 			RatePerSec: rs.RatePerSec,
 			MeanMs:     rs.Latency.MeanMs,
 			P50Ms:      rs.Latency.P50Ms,

@@ -40,6 +40,21 @@ type ExplainRequest struct {
 	// explains, and closes it — the open-per-request baseline the pooled
 	// path is benchmarked against.
 	NoPool bool `json:"no_pool,omitempty"`
+	// BudgetMs bounds this request's exact computation wall clock in
+	// milliseconds; past it the answer degrades to sampled estimates with
+	// confidence intervals instead of erroring. 0 defers to the server's
+	// configured budget.
+	BudgetMs float64 `json:"budget_ms,omitempty"`
+	// Mode is "auto" (exact within budget, sampled past it), "exact"
+	// (never sample), or "approximate" (sample immediately); empty defers
+	// to the server.
+	Mode string `json:"mode,omitempty"`
+	// MinSamples floors the sampler's permutation count; 0 defers to the
+	// server.
+	MinSamples int `json:"min_samples,omitempty"`
+	// Seed perturbs the deterministic sampling seed (0 = the canonical
+	// lineage-derived seed).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // FactScore is one ranked fact of a tuple's explanation.
@@ -53,17 +68,29 @@ type FactScore struct {
 	// ValueRat is the exact Shapley value in big.Rat string form; empty
 	// when the explanation fell back to the CNF Proxy.
 	ValueRat string `json:"value_rat,omitempty"`
-	// Score is the float form of the fact's contribution (exact value or
-	// proxy score, per the tuple's method).
+	// Score is the float form of the fact's contribution (exact value,
+	// sampled estimate, or proxy score, per the tuple's method).
 	Score float64 `json:"score"`
+	// CILow and CIHigh bound the 95% confidence interval around Score for
+	// approximately answered tuples; absent (nil) on exact and proxy
+	// answers, so those responses are byte-identical to the pre-anytime
+	// protocol.
+	CILow  *float64 `json:"ci_low,omitempty"`
+	CIHigh *float64 `json:"ci_high,omitempty"`
 }
 
 // TupleExplanation is the wire form of one explained output tuple.
 type TupleExplanation struct {
 	// Tuple is the output tuple (empty for a Boolean query's yes-answer).
 	Tuple []any `json:"tuple"`
-	// Method is "exact" or "cnf-proxy".
+	// Method is "exact", "approximate", or "cnf-proxy".
 	Method string `json:"method"`
+	// Approximate marks a tuple answered by the anytime sampling tier: its
+	// fact scores are Monte Carlo estimates carrying ci_low/ci_high bounds,
+	// and Samples says how many permutations were spent. Both fields are
+	// absent on exact answers.
+	Approximate bool `json:"approximate,omitempty"`
+	Samples     int  `json:"samples,omitempty"`
 	// NumFacts is the number of distinct endogenous facts in the lineage.
 	NumFacts int `json:"num_facts"`
 	// ElapsedMs is the wall-clock cost of explaining this tuple (for cached
@@ -191,6 +218,10 @@ type RouteStats struct {
 	Sheds    int64 `json:"sheds"`
 	Panics   int64 `json:"panics"`
 	Timeouts int64 `json:"timeouts"`
+	// Degraded counts successful (200) requests answered approximately by
+	// the anytime sampling tier instead of exactly — graceful degradation,
+	// broken out next to the failure modes above.
+	Degraded int64 `json:"degraded,omitempty"`
 	// RatePerSec is Count over the server's uptime.
 	RatePerSec float64 `json:"rate_per_sec"`
 	// Latency percentiles are over a bounded window of recent requests.
@@ -307,8 +338,13 @@ func EncodeExplanations(d *repro.Database, es []repro.TupleExplanation, top int)
 		facts := make([]FactScore, len(ranking))
 		for j, id := range ranking {
 			fs := FactScore{ID: int64(id), Score: e.Score(id)}
-			if e.Method == repro.MethodExact {
+			switch e.Method {
+			case repro.MethodExact:
 				fs.ValueRat = e.Values[id].RatString()
+			case repro.MethodApprox:
+				est := e.Approx[id]
+				lo, hi := est.CILow, est.CIHigh
+				fs.CILow, fs.CIHigh = &lo, &hi
 			}
 			if f := d.Fact(id); f != nil {
 				fs.Relation = f.Relation
@@ -317,11 +353,13 @@ func EncodeExplanations(d *repro.Database, es []repro.TupleExplanation, top int)
 			facts[j] = fs
 		}
 		out[i] = TupleExplanation{
-			Tuple:     EncodeTuple(e.Tuple),
-			Method:    e.Method.String(),
-			NumFacts:  e.NumFacts,
-			ElapsedMs: float64(e.Elapsed) / float64(time.Millisecond),
-			Facts:     facts,
+			Tuple:       EncodeTuple(e.Tuple),
+			Method:      e.Method.String(),
+			Approximate: e.Method == repro.MethodApprox,
+			Samples:     e.Samples,
+			NumFacts:    e.NumFacts,
+			ElapsedMs:   float64(e.Elapsed) / float64(time.Millisecond),
+			Facts:       facts,
 		}
 	}
 	return out

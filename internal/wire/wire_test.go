@@ -3,6 +3,7 @@ package wire
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro"
@@ -108,5 +109,76 @@ func TestEncodeTupleKinds(t *testing.T) {
 	got := EncodeTuple(tup)
 	if got[0] != int64(3) || got[1] != json.Number("1.5") || got[2] != json.Number("2.0") || got[3] != "x" {
 		t.Errorf("EncodeTuple = %#v", got)
+	}
+}
+
+// TestEncodeApproxExplanations checks the degraded encoding: the tuple is
+// marked approximate with its sample count, every fact carries finite
+// ordered confidence bounds around its score, and no exact rational is
+// claimed.
+func TestEncodeApproxExplanations(t *testing.T) {
+	d, _ := flights.Build()
+	es, err := repro.Explain(context.Background(), d, flights.Query(), repro.Options{
+		Budget: repro.ExplainBudget{Mode: repro.ModeApproximate, MinSamples: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeExplanations(d, es, 0)
+	e := enc[0]
+	if e.Method != "approximate" || !e.Approximate {
+		t.Fatalf("method %q approximate=%v, want a marked approximation", e.Method, e.Approximate)
+	}
+	if e.Samples < 128 {
+		t.Errorf("samples = %d, want ≥ 128", e.Samples)
+	}
+	for _, f := range e.Facts {
+		if f.ValueRat != "" {
+			t.Errorf("approximate fact %d claims exact rational %q", f.ID, f.ValueRat)
+		}
+		if f.CILow == nil || f.CIHigh == nil {
+			t.Fatalf("approximate fact %d missing confidence bounds", f.ID)
+		}
+		if *f.CILow > f.Score || f.Score > *f.CIHigh {
+			t.Errorf("fact %d score %v outside its CI [%v, %v]", f.ID, f.Score, *f.CILow, *f.CIHigh)
+		}
+	}
+	blob, err := json.Marshal(ExplainResponse{Tuples: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"approximate":true`, `"samples":`, `"ci_low":`, `"ci_high":`} {
+		if !strings.Contains(string(blob), key) {
+			t.Errorf("approximate wire JSON missing %s", key)
+		}
+	}
+}
+
+// TestExactEncodingHasNoApproxFields pins byte-compatibility: an unbudgeted
+// (exact) response must not grow any of the new approximation keys, so
+// pre-budget clients see byte-identical JSON.
+func TestExactEncodingHasNoApproxFields(t *testing.T) {
+	d, _ := flights.Build()
+	es, err := repro.Explain(context.Background(), d, flights.Query(), repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(ExplainResponse{Tuples: EncodeExplanations(d, es, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"approximate", "samples", "ci_low", "ci_high"} {
+		if strings.Contains(string(blob), key) {
+			t.Errorf("exact wire JSON contains %q", key)
+		}
+	}
+	req, err := json.Marshal(ExplainRequest{Dataset: "flights", Query: "q() :- R(x)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"budget_ms", "mode", "min_samples", "seed"} {
+		if strings.Contains(string(req), key) {
+			t.Errorf("unbudgeted request JSON contains %q", key)
+		}
 	}
 }

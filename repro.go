@@ -188,7 +188,36 @@ const (
 	// MethodProxy means the exact computation exceeded its budget and the
 	// ranking was produced by the CNF Proxy heuristic.
 	MethodProxy = core.MethodProxy
+	// MethodApprox means an explain budget was exhausted (or approximation
+	// requested outright) and the values are Monte Carlo estimates with 95%
+	// confidence intervals.
+	MethodApprox = core.MethodApprox
 )
+
+// Anytime-tier types, re-exported: a per-request compute budget and the
+// sampled estimate it degrades to when exceeded.
+type (
+	// ExplainBudget bounds one explanation's exact attempt and configures
+	// the sampling fallback; see core.ExplainBudget.
+	ExplainBudget = core.ExplainBudget
+	// ExplainMode picks the degradation policy (auto, exact, approximate).
+	ExplainMode = core.ExplainMode
+	// Estimate is one fact's sampled Shapley value with 95% CI bounds.
+	Estimate = core.Estimate
+)
+
+// Explain modes for ExplainBudget.Mode.
+const (
+	// ModeAuto tries exact within the budget and samples on exhaustion.
+	ModeAuto = core.ModeAuto
+	// ModeExact disables the sampling fallback (proxy degradation as before).
+	ModeExact = core.ModeExact
+	// ModeApproximate skips the exact attempt and samples immediately.
+	ModeApproximate = core.ModeApproximate
+)
+
+// ParseExplainMode parses "auto" (or ""), "exact", or "approximate".
+func ParseExplainMode(s string) (ExplainMode, error) { return core.ParseExplainMode(s) }
 
 // Options configures Explain.
 type Options struct {
@@ -245,6 +274,14 @@ type Options struct {
 	// invalid — use a large budget rather than "unbounded" to keep
 	// adversarial query mixes from holding an index per pattern.
 	IndexBudget int
+	// Budget is the anytime tier's per-request compute budget: when Enabled,
+	// an explanation whose exact attempt exceeds Budget.MaxNodes or
+	// Budget.Deadline degrades to Monte Carlo estimates with 95% confidence
+	// intervals (MethodApprox) instead of failing or falling to the proxy,
+	// and Budget.Mode == ModeApproximate skips the exact attempt entirely.
+	// The zero budget changes nothing. Session.ExplainWithBudget overrides
+	// it per call.
+	Budget ExplainBudget
 }
 
 // Validate checks the options for values no pipeline configuration accepts
@@ -276,6 +313,29 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("repro: Options.Strategy = %d is not a known ShapleyStrategy (use StrategyAuto, StrategyPerFact, or StrategyGradient)", o.Strategy)
 	}
+	return ValidateBudget(o.Budget)
+}
+
+// ValidateBudget checks an anytime-tier budget for values no configuration
+// accepts, in the same style as Options.Validate. Options.Validate and the
+// per-call Session.ExplainWithBudget both run it, so a nonsensical budget is
+// rejected at the API boundary whichever way it arrives.
+func ValidateBudget(b ExplainBudget) error {
+	switch {
+	case b.MaxNodes < 0:
+		return fmt.Errorf("repro: Options.Budget.MaxNodes is negative (%d); use 0 to defer to Options.MaxNodes", b.MaxNodes)
+	case b.Deadline < 0:
+		return fmt.Errorf("repro: Options.Budget.Deadline is negative (%v); use 0 for no per-request deadline", b.Deadline)
+	case b.MinSamples < 0:
+		return fmt.Errorf("repro: Options.Budget.MinSamples is negative (%d); use 0 for the sampler's default permutation floor", b.MinSamples)
+	case b.TargetCI != 0 && (b.TargetCI <= 0 || b.TargetCI >= 1):
+		return fmt.Errorf("repro: Options.Budget.TargetCI = %g is outside (0, 1); use 0 for the default 95%%-CI half-width target", b.TargetCI)
+	}
+	switch b.Mode {
+	case ModeAuto, ModeExact, ModeApproximate:
+	default:
+		return fmt.Errorf("repro: Options.Budget.Mode = %d is not a known ExplainMode (use ModeAuto, ModeExact, or ModeApproximate)", b.Mode)
+	}
 	return nil
 }
 
@@ -291,6 +351,13 @@ type TupleExplanation struct {
 	Values Values
 	// Proxy holds CNF Proxy scores (nil when Method == MethodExact).
 	Proxy ProxyValues
+	// Approx holds sampled estimates with 95% CI bounds (nil unless
+	// Method == MethodApprox).
+	Approx map[FactID]Estimate
+	// Samples is how many permutations the sampler spent (MethodApprox
+	// only); ApproxSeed reproduces the run.
+	Samples    int
+	ApproxSeed int64
 	// Ranking lists the endogenous facts of the tuple's provenance by
 	// decreasing contribution.
 	Ranking []FactID
@@ -309,11 +376,15 @@ func (e *TupleExplanation) TopFacts(k int) []FactID {
 }
 
 // Score returns the fact's contribution as a float: the exact Shapley value
-// under MethodExact, the proxy score otherwise.
+// under MethodExact, the sampled estimate under MethodApprox, the proxy
+// score otherwise.
 func (e *TupleExplanation) Score(f FactID) float64 {
-	if e.Method == MethodExact {
+	switch e.Method {
+	case MethodExact:
 		v, _ := e.Values[f].Float64()
 		return v
+	case MethodApprox:
+		return e.Approx[f].Value
 	}
 	v, _ := e.Proxy[f].Float64()
 	return v

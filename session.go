@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -77,20 +78,39 @@ type Session struct {
 	tuples map[string]*sessionTuple
 	closed bool
 
+	// Background exact-upgrade machinery (see ExplainWithBudget): a tuple
+	// answered approximately keeps its lineage, and one bounded background
+	// slot opportunistically finishes the exact computation so subsequent
+	// explains of the tuple serve exact values. bgCtx is cancelled at Close,
+	// aborting any in-flight upgrade; bgSlot (capacity 1) bounds the
+	// concurrent background work; upgrading dedupes per-tuple scheduling
+	// (guarded by mu).
+	bgCtx     context.Context
+	bgStop    context.CancelFunc
+	bgSlot    chan struct{}
+	upgrading map[string]bool
+
 	// Lifetime counters behind Stats (guarded by mu).
 	grounds  int64
 	inserts  int64
 	deletes  int64
 	explains int64
+	approxes int64
+	upgrades int64
 }
 
 // sessionTuple carries one output tuple's cached pipeline state across
 // Explain calls: the per-stage artifacts and the finished explanation, each
-// valid for the lineage epoch they were computed at.
+// valid for the lineage epoch they were computed at. upFailed records that a
+// background exact upgrade already failed at upFailEpoch, so the scheduler
+// does not retry until the lineage changes.
 type sessionTuple struct {
 	epoch uint64
 	art   *core.Artifacts
 	expl  *TupleExplanation
+
+	upFailed    bool
+	upFailEpoch uint64
 }
 
 // Open validates the options, evaluates the query once (grounding + lineage
@@ -102,12 +122,16 @@ func Open(d *Database, q *Query, opts Options) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		d:     d,
-		q:     q,
-		opts:  opts,
-		cache: compileCache(opts.CacheSize),
+		d:         d,
+		q:         q,
+		opts:      opts,
+		cache:     compileCache(opts.CacheSize),
+		bgSlot:    make(chan struct{}, 1),
+		upgrading: make(map[string]bool),
 	}
+	s.bgCtx, s.bgStop = context.WithCancel(context.Background())
 	if err := s.ground(); err != nil {
+		s.bgStop()
 		return nil, err
 	}
 	return s, nil
@@ -282,8 +306,30 @@ func unwrapSingle(err error) error {
 // the one-shot Explain would on the current database state, recomputing
 // only tuples whose lineage changed since the previous call. Unchanged
 // tuples are served from the session cache (including their Elapsed, which
-// reports the cost of the original computation).
+// reports the cost of the original computation). It runs under the
+// session's configured Options.Budget; see ExplainWithBudget.
 func (s *Session) Explain(ctx context.Context) ([]TupleExplanation, error) {
+	return s.ExplainWithBudget(ctx, s.opts.Budget)
+}
+
+// ExplainWithBudget is Explain under a per-call compute budget, overriding
+// the session's Options.Budget. With the budget enabled, a tuple whose
+// exact computation exceeds it is answered approximately (MethodApprox,
+// sampled estimates with 95% confidence intervals) instead of erroring —
+// and the session then schedules a background exact upgrade: one bounded
+// background slot finishes the exact computation opportunistically
+// (cancelled on Close), so subsequent explains of the same tuple serve the
+// exact value.
+//
+// Cached approximate answers never leak into unbudgeted calls: a call whose
+// budget is disabled recomputes any tuple whose cached explanation is
+// approximate, so its results are indistinguishable from a session that
+// never degraded.
+func (s *Session) ExplainWithBudget(ctx context.Context, budget ExplainBudget) ([]TupleExplanation, error) {
+	if err := ValidateBudget(budget); err != nil {
+		return nil, err
+	}
+	budgeted := budget.Enabled()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -334,7 +380,12 @@ func (s *Session) Explain(ctx context.Context) ([]TupleExplanation, error) {
 	err := parallel.ForEach(ctx, len(live), outer, func(_, i int) error {
 		a := live[i]
 		entry := s.tuples[a.Key]
-		if entry.expl != nil && entry.epoch == a.Epoch {
+		// A cached explanation at the current epoch is served verbatim —
+		// unless it is approximate and this call did not opt into
+		// approximation, in which case the exact pipeline runs (and replaces
+		// the degraded cache entry).
+		if entry.expl != nil && entry.epoch == a.Epoch &&
+			(entry.expl.Method != MethodApprox || budgeted) {
 			out[i] = *entry.expl
 			return nil
 		}
@@ -348,6 +399,7 @@ func (s *Session) Explain(ctx context.Context) ([]TupleExplanation, error) {
 			Strategy:         s.opts.Strategy,
 			Cache:            s.cache,
 			CacheOwner:       s.d.ID(),
+			Budget:           budget,
 		})
 		if err != nil {
 			return err
@@ -361,7 +413,13 @@ func (s *Session) Explain(ctx context.Context) ([]TupleExplanation, error) {
 			NumFacts: len(endo),
 			Elapsed:  h.Elapsed,
 		}
+		if h.Method == core.MethodApprox {
+			expl.Approx = h.Approx.Estimates
+			expl.Samples = h.Approx.Permutations
+			expl.ApproxSeed = h.Approx.Seed
+		}
 		entry.expl, entry.epoch = expl, a.Epoch
+		entry.upFailed = false
 		out[i] = *expl
 		return nil
 	})
@@ -369,7 +427,124 @@ func (s *Session) Explain(ctx context.Context) ([]TupleExplanation, error) {
 		return nil, err
 	}
 	s.explains++
+	// Degraded answers are upgraded in place: schedule the background exact
+	// computation for every tuple answered approximately at its current
+	// epoch. This runs under mu after the fan-out completed, so it sees a
+	// consistent tuple map.
+	for _, a := range live {
+		entry := s.tuples[a.Key]
+		if entry != nil && entry.expl != nil && entry.epoch == a.Epoch &&
+			entry.expl.Method == MethodApprox {
+			s.scheduleUpgrade(a.Key)
+		}
+	}
+	for i := range out {
+		if out[i].Method == MethodApprox {
+			s.approxes++
+		}
+	}
 	return out, nil
+}
+
+// scheduleUpgrade queues the background exact upgrade for one approximately
+// answered tuple, deduplicating per key and skipping tuples whose upgrade
+// already failed at the current epoch. Callers hold s.mu.
+func (s *Session) scheduleUpgrade(key string) {
+	if s.closed || s.upgrading[key] {
+		return
+	}
+	if entry := s.tuples[key]; entry == nil ||
+		(entry.upFailed && entry.upFailEpoch == entry.epoch) {
+		return
+	}
+	s.upgrading[key] = true
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			delete(s.upgrading, key)
+			s.mu.Unlock()
+		}()
+		select {
+		case s.bgSlot <- struct{}{}:
+			defer func() { <-s.bgSlot }()
+		case <-s.bgCtx.Done():
+			return
+		}
+		s.upgradeTuple(key)
+	}()
+}
+
+// upgradeTuple runs the exact pipeline for one approximately answered tuple
+// in the background and installs the exact explanation if the tuple is
+// still live at the epoch the approximation was computed for. The exact
+// computation itself runs outside s.mu — lineage circuit nodes are immutable
+// once hash-consed, so reading a snapshotted lineage is safe while the
+// foreground mutates the session — under the session's own (non-budgeted)
+// limits; if it fails them too, the tuple keeps its approximate answer and
+// is not retried until its lineage changes.
+func (s *Session) upgradeTuple(key string) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	entry := s.tuples[key]
+	if entry == nil || entry.expl == nil || entry.expl.Method != MethodApprox {
+		s.mu.Unlock()
+		return
+	}
+	epoch := entry.epoch
+	var lineage *circuit.Node
+	var tuple Tuple
+	for _, a := range s.inc.Live() {
+		if a.Key == key && a.Epoch == epoch {
+			lineage, tuple = a.Lineage, a.Tuple
+			break
+		}
+	}
+	popts := core.PipelineOptions{
+		CompileTimeout:   s.opts.Timeout,
+		ShapleyTimeout:   s.opts.Timeout,
+		CompileMaxNodes:  s.opts.MaxNodes,
+		Workers:          1,
+		CompileWorkers:   1,
+		NoCanonicalCache: s.opts.NoCanonicalCache,
+		Strategy:         s.opts.Strategy,
+		Cache:            s.cache,
+		CacheOwner:       s.d.ID(),
+	}
+	s.mu.Unlock()
+	if lineage == nil {
+		return // the tuple moved on; the next explain recomputes it anyway
+	}
+
+	endo := lineageEndo(lineage)
+	start := time.Now()
+	res, err := core.ExplainCircuitAt(s.bgCtx, lineage, endo, epoch, nil, popts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	entry = s.tuples[key]
+	if entry == nil || entry.epoch != epoch || entry.expl == nil ||
+		entry.expl.Method != MethodApprox {
+		return // superseded while we were computing
+	}
+	if err != nil {
+		entry.upFailed, entry.upFailEpoch = true, epoch
+		return
+	}
+	entry.expl = &TupleExplanation{
+		Tuple:    tuple,
+		Method:   MethodExact,
+		Values:   res.Values,
+		Ranking:  res.Values.Ranking(),
+		NumFacts: len(endo),
+		Elapsed:  time.Since(start),
+	}
+	s.upgrades++
 }
 
 // NumAnswers returns the current number of output tuples without explaining
@@ -409,6 +584,12 @@ type SessionStats struct {
 	Inserts, Deletes int64
 	// Explains counts completed Explain calls.
 	Explains int64
+	// Approximations counts tuple answers served approximately (budget
+	// exhaustion or explicit approximate mode), across all Explain calls.
+	Approximations int64
+	// Upgrades counts approximate answers replaced in place by the
+	// background exact computation.
+	Upgrades int64
 }
 
 // Stats returns the session's current statistics snapshot.
@@ -419,12 +600,14 @@ func (s *Session) Stats() (SessionStats, error) {
 		return SessionStats{}, ErrSessionClosed
 	}
 	st := SessionStats{
-		Answers:  s.inc.Len(),
-		Epoch:    s.epoch,
-		Grounds:  s.grounds,
-		Inserts:  s.inserts,
-		Deletes:  s.deletes,
-		Explains: s.explains,
+		Answers:        s.inc.Len(),
+		Epoch:          s.epoch,
+		Grounds:        s.grounds,
+		Inserts:        s.inserts,
+		Deletes:        s.deletes,
+		Explains:       s.explains,
+		Approximations: s.approxes,
+		Upgrades:       s.upgrades,
 	}
 	for _, t := range s.tuples {
 		if t.expl != nil {
@@ -446,8 +629,9 @@ func (s *Session) CacheStats() dnnf.CacheStats {
 	return s.cache.Stats()
 }
 
-// Close releases the session's cached state. The database is left exactly
-// as the session's updates made it; only the session becomes unusable.
+// Close releases the session's cached state and cancels any in-flight
+// background exact upgrade. The database is left exactly as the session's
+// updates made it; only the session becomes unusable.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -455,6 +639,7 @@ func (s *Session) Close() error {
 		return ErrSessionClosed
 	}
 	s.closed = true
+	s.bgStop()
 	s.inc = nil
 	s.tuples = nil
 	s.cb = nil
