@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		order    = flag.String("order", "freq", "branching heuristic: freq (most frequent) or lex (lexicographic)")
+		order    = flag.String("order", "freq", "branching heuristic: freq (most frequent), lex (lexicographic), or jw (Jeroslow-Wang)")
 		noCache  = flag.Bool("nocache", false, "disable component caching")
 		timeout  = flag.Duration("timeout", 0, "compilation timeout per input (0 = none)")
 		maxNodes = flag.Int("maxnodes", 0, "node budget (0 = none)")
@@ -46,6 +46,8 @@ func main() {
 		cworkers = flag.Int("compile-workers", 0, "component fan-out within each compilation (0 = split GOMAXPROCS across the concurrent inputs, 1 = sequential)")
 		cacheSz  = flag.Int("cache", dnnf.DefaultCompileCacheSize, "compiled-circuit cache capacity shared across inputs (0 = disabled)")
 		nocanon  = flag.Bool("nocanon", false, "key the shared cache byte-identically instead of by canonical (rename-invariant) form")
+		spec     = flag.Bool("speculate", false, "compile hi/lo cofactors of shallow Shannon decisions concurrently")
+		folio    = flag.Bool("portfolio", false, "race branching heuristics per input, first finisher wins (needs \u22652 compile workers; -order still sets the favored racer)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -75,15 +77,20 @@ func main() {
 			compileWorkers = 1
 		}
 	}
+	varOrder, err := dnnf.ParseVarOrder(*order)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kcompile:", err)
+		os.Exit(2)
+	}
 	opts := dnnf.Options{
 		Timeout:          *timeout,
 		MaxNodes:         *maxNodes,
 		DisableCache:     *noCache,
+		Order:            varOrder,
 		Workers:          compileWorkers,
+		Speculate:        *spec,
+		Portfolio:        *folio,
 		NoCanonicalCache: *nocanon,
-	}
-	if *order == "lex" {
-		opts.Order = dnnf.OrderLexicographic
 	}
 	// -nocache is the ablation switch: it must disable the cross-call cache
 	// too, or repeated inputs would report near-zero compilation effort.
@@ -102,7 +109,7 @@ func main() {
 	}
 
 	reports := make([]string, len(formulas))
-	err := parallel.ForEach(ctx, len(formulas), *workers, func(_, i int) error {
+	err = parallel.ForEach(ctx, len(formulas), *workers, func(_, i int) error {
 		report, err := compileOne(ctx, flag.Arg(i), formulas[i], opts, *spectrum, *outPath)
 		if err != nil {
 			return fmt.Errorf("%s: %w", flag.Arg(i), err)

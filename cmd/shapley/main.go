@@ -44,6 +44,8 @@ func main() {
 		method  = flag.String("method", "hybrid", "hybrid (exact with proxy fallback) or proxy (force CNF Proxy via zero budget)")
 		workers = flag.Int("workers", 0, "pipeline concurrency (0 = GOMAXPROCS, 1 = serial)")
 		cworker = flag.Int("compile-workers", 0, "knowledge-compiler component fan-out (0 = inherit the per-tuple worker share, negative = GOMAXPROCS, 1 = sequential)")
+		spec    = flag.Bool("speculate", false, "compile hi/lo cofactors of shallow Shannon decisions concurrently (parallelism for single-component lineages)")
+		folio   = flag.Bool("portfolio", false, "race variable-ordering heuristics per CNF, first finisher wins (needs ≥2 compile workers)")
 		cache   = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, negative = disabled)")
 		nocanon = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of by canonical (rename-invariant) form")
 		strat   = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
@@ -76,6 +78,8 @@ func main() {
 		Timeout:          *timeout,
 		Workers:          *workers,
 		CompileWorkers:   *cworker,
+		Speculate:        *spec,
+		Portfolio:        *folio,
 		CacheSize:        *cache,
 		NoCanonicalCache: *nocanon,
 		Strategy:         strategy,

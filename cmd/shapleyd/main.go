@@ -48,6 +48,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 2500*time.Millisecond, "exact-computation budget per output tuple (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "per-request pipeline concurrency (0 = GOMAXPROCS, 1 = serial)")
 		cworker  = flag.Int("compile-workers", 0, "knowledge-compiler component fan-out (0 = inherit, -1 = GOMAXPROCS, 1 = sequential)")
+		spec     = flag.Bool("speculate", false, "compile hi/lo cofactors of shallow Shannon decisions concurrently (parallelism for single-component lineages)")
+		folio    = flag.Bool("portfolio", false, "race variable-ordering heuristics per CNF, first finisher wins (needs \u22652 compile workers)")
 		cache    = flag.Int("cache", 0, "compiled-circuit cache size (0 = default, -1 = disabled)")
 		nocanon  = flag.Bool("nocanon", false, "key the compile cache byte-identically instead of canonically")
 		strat    = flag.String("strategy", "auto", "Algorithm 1 evaluation mode: auto, per-fact, or gradient")
@@ -82,6 +84,8 @@ func main() {
 			Timeout:          *timeout,
 			Workers:          *workers,
 			CompileWorkers:   *cworker,
+			Speculate:        *spec,
+			Portfolio:        *folio,
 			CacheSize:        *cache,
 			NoCanonicalCache: *nocanon,
 			Strategy:         strategy,

@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/db"
 	"repro/internal/dnnf"
 )
 
@@ -53,14 +55,62 @@ type CompileCachePass struct {
 	HitRate       float64 `json:"hit_rate"`
 }
 
+// SingleComponentCell is one (workers, speculation) measurement of a
+// single-component instance, cross-checked against the sequential compiler.
+type SingleComponentCell struct {
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"ms"`
+	Speedup float64 `json:"speedup"` // sequential time / this time
+	// SpeculatedDecisions records how much branch-level parallelism
+	// engaged in this cell's compilations.
+	SpeculatedDecisions int `json:"speculated_decisions"`
+	// ModelCountOK and ShapleyOK report the big.Rat cross-checks against
+	// the workers=1 compiler: identical model count, and identical exact
+	// Shapley values for every endogenous fact.
+	ModelCountOK bool `json:"model_count_ok"`
+	ShapleyOK    bool `json:"shapley_ok"`
+}
+
+// SingleComponentInstance is the speculative-scaling record for one
+// single-component CNF — the shape component fan-out cannot parallelize.
+type SingleComponentInstance struct {
+	Name             string                `json:"name"`
+	NumVars          int                   `json:"num_vars"`
+	NumClauses       int                   `json:"num_clauses"`
+	SequentialMillis float64               `json:"sequential_ms"`
+	Cells            []SingleComponentCell `json:"cells"`
+	BestSpeedup      float64               `json:"best_speedup"`
+}
+
+// PortfolioBenchInstance records the heuristic race on one CNF: each
+// heuristic compiled alone (sequentially) versus the portfolio racing them.
+type PortfolioBenchInstance struct {
+	Name        string             `json:"name"`
+	OrderMillis map[string]float64 `json:"order_ms"` // per-heuristic solo time
+	RaceMillis  float64            `json:"race_ms"`  // portfolio wall time at RaceWorkers
+	RaceWorkers int                `json:"race_workers"`
+	Winner      string             `json:"winner"`
+	// SpeedupVsDefault is the default heuristic's solo time over the race
+	// time — what portfolio mode buys over just running the default.
+	SpeedupVsDefault float64 `json:"speedup_vs_default"`
+	ModelCountOK     bool    `json:"model_count_ok"`
+}
+
 // CompileBench is the top-level BENCH_compile.json document.
 type CompileBench struct {
-	GeneratedAt   string                 `json:"generated_at"`
-	MaxProcs      int                    `json:"maxprocs"`
-	WorkerCounts  []int                  `json:"worker_counts"`
-	Instances     []CompileBenchInstance `json:"instances"`
-	Canonical     []CompileCachePass     `json:"canonical_cache"`
-	ByteIdentical []CompileCachePass     `json:"byte_identical_cache"`
+	GeneratedAt  string                 `json:"generated_at"`
+	MaxProcs     int                    `json:"maxprocs"`
+	WorkerCounts []int                  `json:"worker_counts"`
+	Instances    []CompileBenchInstance `json:"instances"`
+	// SingleComponent is the speculative-branching head-to-head on the
+	// heaviest single-component corpus CNFs (plus a synthetic hard one):
+	// near-linear worker scaling here is the target the speculation work
+	// exists for, since component fan-out has nothing to split.
+	SingleComponent []SingleComponentInstance `json:"single_component_scaling"`
+	// Portfolio is the variable-ordering race experiment.
+	Portfolio     []PortfolioBenchInstance `json:"portfolio"`
+	Canonical     []CompileCachePass       `json:"canonical_cache"`
+	ByteIdentical []CompileCachePass       `json:"byte_identical_cache"`
 }
 
 // SyntheticComponentCNF builds `blocks` variable-disjoint random 3-CNF
@@ -166,19 +216,192 @@ func compileInstances(c *Corpus, corpusTop int) []namedCNF {
 // timeCompile returns the best-of-rounds wall time of one configuration and
 // the compiled circuit's model count for cross-checking.
 func timeCompile(ctx context.Context, f *cnf.Formula, workers, rounds int) (time.Duration, error) {
+	d, _, err := timeCompileOpts(ctx, f, dnnf.Options{Workers: workers, Timeout: 30 * time.Second}, rounds)
+	return d, err
+}
+
+// timeCompileOpts is timeCompile for an arbitrary option set; it also
+// returns the final round's stats (speculation counters, portfolio winner).
+func timeCompileOpts(ctx context.Context, f *cnf.Formula, opts dnnf.Options, rounds int) (time.Duration, dnnf.Stats, error) {
 	best := time.Duration(0)
+	var stats dnnf.Stats
 	for r := 0; r < rounds; r++ {
 		t0 := time.Now()
-		_, _, err := dnnf.Compile(ctx, f, dnnf.Options{Workers: workers, Timeout: 30 * time.Second})
+		_, s, err := dnnf.Compile(ctx, f, opts)
 		elapsed := time.Since(t0)
 		if err != nil {
-			return 0, err
+			return 0, stats, err
 		}
+		stats = s
 		if r == 0 || elapsed < best {
 			best = elapsed
 		}
 	}
-	return best, nil
+	return best, stats, nil
+}
+
+// singleCNF is a single-component benchmark instance with its endogenous
+// fact universe (for the Shapley cross-check).
+type singleCNF struct {
+	name string
+	f    *cnf.Formula
+	endo []db.FactID
+}
+
+// singleComponentInstances picks the heaviest successful corpus CNFs whose
+// top-level clause set is one connected component — the instances component
+// fan-out cannot parallelize — plus one synthetic hard single-component
+// 3-CNF at the ~3.5 clause/variable ratio that maximizes search depth.
+func singleComponentInstances(c *Corpus, top int) []singleCNF {
+	tuples := c.SuccessfulTuples()
+	sort.Slice(tuples, func(i, j int) bool {
+		if tuples[i].NumClauses != tuples[j].NumClauses {
+			return tuples[i].NumClauses > tuples[j].NumClauses
+		}
+		return tuples[i].NumFacts > tuples[j].NumFacts
+	})
+	var out []singleCNF
+	for _, t := range tuples {
+		if len(out) >= top {
+			break
+		}
+		if t.CNF == nil || dnnf.TopLevelComponents(t.CNF) != 1 {
+			continue
+		}
+		out = append(out, singleCNF{
+			name: fmt.Sprintf("%s/%s n=%d", t.Dataset, t.Query, t.NumFacts),
+			f:    t.CNF,
+			endo: t.Endo,
+		})
+	}
+	synth := SyntheticComponentCNF(1, 40, 140, 17)
+	var endo []db.FactID
+	for _, v := range synth.Vars() {
+		endo = append(endo, db.FactID(v))
+	}
+	out = append(out, singleCNF{name: "synthetic single-component", f: synth, endo: endo})
+	return out
+}
+
+// singleComponentScaling measures speculative-branching worker scaling on
+// single-component instances: each (workers, speculate) cell's circuit is
+// cross-checked big.Rat-identical to the sequential compiler's, both as a
+// model count and as the exact Shapley value of every endogenous fact.
+func singleComponentScaling(ctx context.Context, instances []singleCNF, workerCounts []int, rounds int) ([]SingleComponentInstance, error) {
+	var out []SingleComponentInstance
+	for _, inst := range instances {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		isAux := func(v int) bool { return inst.f.Aux[v] }
+		seqRoot, _, err := dnnf.Compile(ctx, inst.f, dnnf.Options{Workers: 1, Timeout: 30 * time.Second})
+		if err != nil {
+			return nil, fmt.Errorf("bench: sequential compile of %s: %w", inst.name, err)
+		}
+		universe := inst.f.Vars()
+		wantModels := dnnf.CountModels(seqRoot, universe)
+		wantValues, err := core.ShapleyAll(ctx, dnnf.EliminateAux(seqRoot, isAux), inst.endo, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sequential shapley of %s: %w", inst.name, err)
+		}
+		seq, _, err := timeCompileOpts(ctx, inst.f, dnnf.Options{Workers: 1, Timeout: 30 * time.Second}, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: timing %s sequential: %w", inst.name, err)
+		}
+		rec := SingleComponentInstance{
+			Name:             inst.name,
+			NumVars:          len(universe),
+			NumClauses:       inst.f.NumClauses(),
+			SequentialMillis: float64(seq) / float64(time.Millisecond),
+		}
+		for _, w := range workerCounts {
+			opts := dnnf.Options{Workers: w, Speculate: true, Timeout: 30 * time.Second}
+			root, _, err := dnnf.Compile(ctx, inst.f, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s speculate workers=%d: %w", inst.name, w, err)
+			}
+			cell := SingleComponentCell{Workers: w}
+			cell.ModelCountOK = dnnf.CountModels(root, universe).Cmp(wantModels) == 0
+			values, err := core.ShapleyAll(ctx, dnnf.EliminateAux(root, isAux), inst.endo, 0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s shapley workers=%d: %w", inst.name, w, err)
+			}
+			cell.ShapleyOK = len(values) == len(wantValues)
+			for fid, want := range wantValues {
+				if got, ok := values[fid]; !ok || got.Cmp(want) != 0 {
+					cell.ShapleyOK = false
+					break
+				}
+			}
+			elapsed, stats, err := timeCompileOpts(ctx, inst.f, opts, rounds)
+			if err != nil {
+				return nil, fmt.Errorf("bench: timing %s speculate workers=%d: %w", inst.name, w, err)
+			}
+			cell.Millis = float64(elapsed) / float64(time.Millisecond)
+			cell.SpeculatedDecisions = stats.SpeculatedDecisions
+			if elapsed > 0 {
+				cell.Speedup = float64(seq) / float64(elapsed)
+			}
+			if cell.Speedup > rec.BestSpeedup {
+				rec.BestSpeedup = cell.Speedup
+			}
+			rec.Cells = append(rec.Cells, cell)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// portfolioBench races the branching heuristics on each instance against
+// each heuristic compiled solo, recording the winner and what the race buys
+// over just running the default order.
+func portfolioBench(ctx context.Context, instances []singleCNF, rounds int) ([]PortfolioBenchInstance, error) {
+	orders := []dnnf.VarOrder{dnnf.OrderMostFrequent, dnnf.OrderJeroslowWang}
+	var out []PortfolioBenchInstance
+	for _, inst := range instances {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		universe := inst.f.Vars()
+		seqRoot, _, err := dnnf.Compile(ctx, inst.f, dnnf.Options{Workers: 1, Timeout: 30 * time.Second})
+		if err != nil {
+			return nil, fmt.Errorf("bench: portfolio baseline %s: %w", inst.name, err)
+		}
+		wantModels := dnnf.CountModels(seqRoot, universe)
+		rec := PortfolioBenchInstance{
+			Name:        inst.name,
+			OrderMillis: make(map[string]float64, len(orders)),
+			RaceWorkers: 4,
+		}
+		var defaultSolo time.Duration
+		for _, o := range orders {
+			solo, _, err := timeCompileOpts(ctx, inst.f, dnnf.Options{Workers: 1, Order: o, Timeout: 30 * time.Second}, rounds)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s order=%s: %w", inst.name, o, err)
+			}
+			rec.OrderMillis[o.String()] = float64(solo) / float64(time.Millisecond)
+			if o == dnnf.OrderMostFrequent {
+				defaultSolo = solo
+			}
+		}
+		raceOpts := dnnf.Options{Workers: rec.RaceWorkers, Portfolio: true, Timeout: 30 * time.Second}
+		root, _, err := dnnf.Compile(ctx, inst.f, raceOpts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s portfolio: %w", inst.name, err)
+		}
+		rec.ModelCountOK = dnnf.CountModels(root, universe).Cmp(wantModels) == 0
+		race, stats, err := timeCompileOpts(ctx, inst.f, raceOpts, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: timing %s portfolio: %w", inst.name, err)
+		}
+		rec.RaceMillis = float64(race) / float64(time.Millisecond)
+		rec.Winner = stats.PortfolioWinner
+		if race > 0 {
+			rec.SpeedupVsDefault = float64(defaultSolo) / float64(race)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
 }
 
 // CompileBenchReport builds the BENCH_compile.json document from a finished
@@ -248,6 +471,21 @@ func CompileBenchReport(ctx context.Context, c *Corpus, workerCounts []int, roun
 		}
 		rep.Instances = append(rep.Instances, rec)
 	}
+
+	// Speculation and portfolio mode target the instances the section above
+	// cannot parallelize: single-component CNFs, measured at workers 1/2/4
+	// per the scaling target.
+	singles := singleComponentInstances(c, 3)
+	single, err := singleComponentScaling(ctx, singles, []int{1, 2, 4}, rounds)
+	if err != nil {
+		return nil, err
+	}
+	rep.SingleComponent = single
+	portfolio, err := portfolioBench(ctx, singles, rounds)
+	if err != nil {
+		return nil, err
+	}
+	rep.Portfolio = portfolio
 
 	var corpusCNFs []*cnf.Formula
 	for _, t := range c.SuccessfulTuples() {

@@ -177,6 +177,8 @@ func hybridBudgetedAt(ctx context.Context, elin *circuit.Node, endo []db.FactID,
 			CompileMaxNodes:  opts.MaxNodes,
 			Workers:          opts.Workers,
 			CompileWorkers:   opts.CompileWorkers,
+			Speculate:        opts.Speculate,
+			Portfolio:        opts.Portfolio,
 			NoCanonicalCache: opts.NoCanonicalCache,
 			Strategy:         opts.Strategy,
 			Cache:            opts.Cache,

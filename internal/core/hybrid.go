@@ -64,6 +64,12 @@ type HybridOptions struct {
 	// CompileWorkers fans the knowledge compiler's component decomposition
 	// out across goroutines (≤ 0 = GOMAXPROCS, 1 = sequential).
 	CompileWorkers int
+	// Speculate compiles shallow Shannon cofactors concurrently inside the
+	// knowledge compiler (the single-component parallelism source).
+	Speculate bool
+	// Portfolio races variable-ordering heuristics per CNF, first finisher
+	// wins and feeds the canonical cache.
+	Portfolio bool
 	// NoCanonicalCache keys Cache byte-identically instead of canonically.
 	NoCanonicalCache bool
 	// Strategy selects the Algorithm 1 evaluation mode (auto, per-fact, or
@@ -108,6 +114,8 @@ func HybridAt(ctx context.Context, elin *circuit.Node, endo []db.FactID, epoch u
 		CompileMaxNodes:  opts.MaxNodes,
 		Workers:          opts.Workers,
 		CompileWorkers:   opts.CompileWorkers,
+		Speculate:        opts.Speculate,
+		Portfolio:        opts.Portfolio,
 		NoCanonicalCache: opts.NoCanonicalCache,
 		Strategy:         opts.Strategy,
 		Cache:            opts.Cache,

@@ -38,6 +38,16 @@ type PipelineOptions struct {
 	// this many goroutines (≤ 0 = GOMAXPROCS, 1 = the sequential compiler).
 	// Circuits are semantically identical for every setting.
 	CompileWorkers int
+	// Speculate compiles the two cofactors of shallow Shannon decisions
+	// concurrently inside the knowledge compiler — the parallelism source
+	// for single-component lineages, where component fan-out has nothing to
+	// split. Inert at CompileWorkers == 1; circuits stay semantically
+	// identical for every setting.
+	Speculate bool
+	// Portfolio races the compiler's variable-ordering heuristics on the
+	// same CNF, first finisher wins and populates Cache. Requires ≥ 2
+	// compile workers to engage.
+	Portfolio bool
 	// NoCanonicalCache keys Cache by the byte-identical CNF instead of the
 	// rename-invariant canonical form (ablation; canonical is the default).
 	NoCanonicalCache bool

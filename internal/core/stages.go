@@ -72,6 +72,8 @@ func CompileStage(ctx context.Context, formula *cnf.Formula, opts PipelineOption
 		Order:            opts.Order,
 		Cache:            opts.Cache,
 		Workers:          opts.CompileWorkers,
+		Speculate:        opts.Speculate,
+		Portfolio:        opts.Portfolio,
 		NoCanonicalCache: opts.NoCanonicalCache,
 		CacheOwner:       opts.CacheOwner,
 	})

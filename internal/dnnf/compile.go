@@ -34,7 +34,43 @@ const (
 	// OrderLexicographic branches on the smallest-numbered variable; kept
 	// as an ablation baseline.
 	OrderLexicographic
+	// OrderJeroslowWang branches on the variable maximizing the two-sided
+	// Jeroslow–Wang score Σ_{cl ∋ v} 2^-|cl| over the active clauses — a
+	// dynamic heuristic that weights short clauses exponentially harder
+	// than the plain occurrence count does. It explores a genuinely
+	// different decision tree from OrderMostFrequent, which is what makes
+	// it a useful portfolio racer.
+	OrderJeroslowWang
+
+	// numVarOrders bounds the VarOrder space (used by the portfolio win
+	// counters).
+	numVarOrders = 3
 )
+
+// String names the heuristic ("freq", "lex", "jw").
+func (o VarOrder) String() string {
+	switch o {
+	case OrderLexicographic:
+		return "lex"
+	case OrderJeroslowWang:
+		return "jw"
+	default:
+		return "freq"
+	}
+}
+
+// ParseVarOrder parses a heuristic name as printed by VarOrder.String.
+func ParseVarOrder(s string) (VarOrder, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "freq", "most-frequent":
+		return OrderMostFrequent, nil
+	case "lex", "lexicographic":
+		return OrderLexicographic, nil
+	case "jw", "jeroslow-wang":
+		return OrderJeroslowWang, nil
+	}
+	return OrderMostFrequent, fmt.Errorf("dnnf: unknown variable order %q (want freq, lex, or jw)", s)
+}
 
 // Options configures compilation.
 type Options struct {
@@ -58,6 +94,27 @@ type Options struct {
 	// pre-parallel implementation did; higher counts produce semantically
 	// identical circuits whose node numbering depends on scheduling.
 	Workers int
+	// Speculate additionally compiles the hi and lo cofactors of shallow
+	// Shannon decisions concurrently — the two cofactors are independent by
+	// construction, so this parallelizes single-component instances, where
+	// component fan-out has nothing to split. Speculation rides the same
+	// spawn-token pool as the component fan-out (so Workers still bounds
+	// total parallelism), is capped by the same recursion depth, and is
+	// inert at Workers == 1. A branch that fails its budget cancels its
+	// in-flight sibling immediately; cofactors that are unsatisfiable at
+	// assignment time never spawn a sibling at all. Node and step budgets
+	// are accounted on shared atomics, so MaxNodes semantics are unchanged.
+	Speculate bool
+	// Portfolio races the same CNF under different branching heuristics
+	// (the configured Order plus the dynamic heuristics it is not), each
+	// racer on its own builder with an equal share of the Workers budget.
+	// The first racer to finish wins: its circuit is returned (and enters
+	// Cache under the canonical key, so a win anywhere is fleet-wide) and
+	// the losers are cancelled via context. Requires Workers ≥ 2 to engage;
+	// with Workers == 1 compilation is byte-identical to the sequential
+	// compiler. MaxNodes bounds each racer's builder: the compilation fails
+	// with ErrNodeBudget only when every racer exhausts it.
+	Portfolio bool
 	// NoCanonicalCache keys the cross-call Cache by the byte-identical
 	// formula signature instead of the rename-invariant canonical form
 	// (ablation). With canonical keying — the default — compilations of
@@ -89,11 +146,31 @@ type Stats struct {
 	// canonical key for a formula that differed from the cached one by a
 	// variable renaming, so the circuit was relabeled for this caller.
 	RenamedHit bool
+	// SpeculatedDecisions counts Shannon decisions whose cofactors compiled
+	// concurrently; SpeculationCancels counts siblings that were cancelled
+	// mid-flight because the other branch failed its budget.
+	SpeculatedDecisions int
+	SpeculationCancels  int
+	// PortfolioRacers is how many heuristics raced this compilation (0 when
+	// portfolio mode was off or did not engage); PortfolioLosersCancelled
+	// counts racers cancelled after the winner finished; PortfolioWinner
+	// names the winning heuristic ("" when no race ran). The effort
+	// counters above are the winning racer's.
+	PortfolioRacers          int
+	PortfolioLosersCancelled int
+	PortfolioWinner          string
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("decisions=%d props=%d cacheHits=%d cacheMisses=%d components=%d nodes=%d crossHit=%v renamedHit=%v elapsed=%v",
+	out := fmt.Sprintf("decisions=%d props=%d cacheHits=%d cacheMisses=%d components=%d nodes=%d crossHit=%v renamedHit=%v elapsed=%v",
 		s.Decisions, s.Propagations, s.CacheHits, s.CacheMisses, s.Components, s.Nodes, s.CrossCallHit, s.RenamedHit, s.Elapsed)
+	if s.SpeculatedDecisions > 0 || s.SpeculationCancels > 0 {
+		out += fmt.Sprintf(" speculated=%d specCancels=%d", s.SpeculatedDecisions, s.SpeculationCancels)
+	}
+	if s.PortfolioRacers > 0 {
+		out += fmt.Sprintf(" portfolio=%d winner=%s losersCancelled=%d", s.PortfolioRacers, s.PortfolioWinner, s.PortfolioLosersCancelled)
+	}
+	return out
 }
 
 // parallelComponentFloor is the size cutoff for fanning a component out to
@@ -101,16 +178,21 @@ func (s Stats) String() string {
 // a goroutine handoff costs, so they stay on the current worker.
 const parallelComponentFloor = 8
 
+// speculateClauseFloor is the analogous cutoff for speculative decision
+// branching: a cofactor of a smaller clause set compiles faster than the
+// spawn costs.
+const speculateClauseFloor = 8
+
 // compiler carries the mutable compilation state. All fields written during
 // the recursion are either atomic or mutex-guarded, because the component
-// fan-out may run subproblems on several goroutines at once.
+// fan-out and speculative decision branching may run subproblems on several
+// goroutines at once.
 type compiler struct {
-	ctx      context.Context
 	b        *Builder
 	opts     Options
 	deadline time.Time
-	// limit is the spawn budget for component fan-out; nil means the fully
-	// sequential compiler.
+	// limit is the spawn budget shared by component fan-out and speculative
+	// decision branching; nil means the fully sequential compiler.
 	limit *parallel.Limit
 
 	cacheMu sync.RWMutex
@@ -122,19 +204,48 @@ type compiler struct {
 	cacheMisses  atomic.Int64
 	components   atomic.Int64
 	steps        atomic.Int64
+	speculated   atomic.Int64
+	specCancels  atomic.Int64
+}
+
+// newCompiler builds a compiler for one (possibly racing) compilation.
+// start anchors the deadline so portfolio racers share one clock.
+func newCompiler(opts Options, start time.Time) *compiler {
+	c := &compiler{
+		b:     NewBuilder(),
+		opts:  opts,
+		cache: make(map[string]*Node),
+		limit: parallel.NewLimit(parallel.Workers(opts.Workers) - 1),
+	}
+	if opts.Timeout > 0 {
+		c.deadline = start.Add(opts.Timeout)
+	}
+	return c
 }
 
 // snapshot folds the atomic counters into a Stats value.
 func (c *compiler) snapshot(start time.Time) Stats {
 	return Stats{
-		Decisions:    int(c.decisions.Load()),
-		Propagations: int(c.propagations.Load()),
-		CacheHits:    int(c.cacheHits.Load()),
-		CacheMisses:  int(c.cacheMisses.Load()),
-		Components:   int(c.components.Load()),
-		Nodes:        c.b.NumNodes(),
-		Elapsed:      time.Since(start),
+		Decisions:           int(c.decisions.Load()),
+		Propagations:        int(c.propagations.Load()),
+		CacheHits:           int(c.cacheHits.Load()),
+		CacheMisses:         int(c.cacheMisses.Load()),
+		Components:          int(c.components.Load()),
+		Nodes:               c.b.NumNodes(),
+		SpeculatedDecisions: int(c.speculated.Load()),
+		SpeculationCancels:  int(c.specCancels.Load()),
+		Elapsed:             time.Since(start),
 	}
+}
+
+// compileRoot runs the recursive compilation from the top, seeding the
+// occurrence counts when the configured heuristic consumes them.
+func (c *compiler) compileRoot(ctx context.Context, clauses []cnf.Clause) (*Node, error) {
+	var counts *occCounts
+	if c.opts.Order == OrderMostFrequent {
+		counts = newOccCounts(clauses)
+	}
+	return c.compile(ctx, clauses, 0, counts)
 }
 
 // Compile translates a CNF formula into an equivalent d-DNNF using
@@ -146,15 +257,15 @@ func (c *compiler) snapshot(start time.Time) Stats {
 // ErrTimeout); ctx errors are returned as-is.
 func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, error) {
 	start := time.Now()
-	c := &compiler{
-		ctx:   ctx,
-		b:     NewBuilder(),
-		opts:  opts,
-		cache: make(map[string]*Node),
-		limit: parallel.NewLimit(parallel.Workers(opts.Workers) - 1),
+	if err := ctx.Err(); err != nil {
+		// An already-cancelled caller gets its error immediately — the
+		// periodic in-search budget check samples only every few dozen
+		// steps, which could let a tiny compile slip through complete.
+		return nil, Stats{}, err
 	}
+	var deadline time.Time
 	if opts.Timeout > 0 {
-		c.deadline = start.Add(opts.Timeout)
+		deadline = start.Add(opts.Timeout)
 	}
 	clauses := make([]cnf.Clause, 0, len(f.Clauses))
 	for _, cl := range f.Clauses {
@@ -163,7 +274,8 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 			continue
 		}
 		if len(norm) == 0 {
-			return c.b.False(), c.snapshot(start), nil
+			b := NewBuilder()
+			return b.False(), Stats{Nodes: b.NumNodes(), Elapsed: time.Since(start)}, nil
 		}
 		clauses = append(clauses, norm)
 	}
@@ -180,7 +292,7 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+				if !deadline.IsZero() && time.Now().After(deadline) {
 					return ErrTimeout
 				}
 				return nil
@@ -189,7 +301,7 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 			var err error
 			toCanon, canonKey, err = canonicalForm(clauses, func(v int) bool { return f.Aux[v] }, budget)
 			if err != nil {
-				return nil, c.snapshot(start), err
+				return nil, Stats{Elapsed: time.Since(start)}, err
 			}
 			signature = canonicalSignature(canonKey, toCanon, f, opts)
 		}
@@ -204,7 +316,7 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 					// against the original compilation's allocation count
 					// makes a warm hit fail exactly where a cold compile
 					// would, independent of cache warmth.
-					return nil, c.snapshot(start), ErrNodeBudget
+					return nil, Stats{Elapsed: time.Since(start)}, ErrNodeBudget
 				}
 				root, renamed, ok := rebindCached(entry, toCanon)
 				if !ok {
@@ -217,7 +329,7 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 				if renamed {
 					opts.Cache.noteRenamed()
 				}
-				stats := c.snapshot(start)
+				stats := Stats{Elapsed: time.Since(start)}
 				stats.CrossCallHit = true
 				stats.RenamedHit = renamed
 				stats.Nodes = entry.nodes
@@ -231,8 +343,17 @@ func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, e
 			wait()
 		}
 	}
-	root, err := c.compile(clauses, 0)
-	stats := c.snapshot(start)
+	var root *Node
+	var stats Stats
+	var err error
+	if orders := portfolioOrders(opts); len(orders) > 1 {
+		root, stats, err = racePortfolio(ctx, clauses, opts, orders, start)
+	} else {
+		c := newCompiler(opts, start)
+		root, err = c.compileRoot(ctx, clauses)
+		stats = c.snapshot(start)
+	}
+	recordGlobalCounters(stats)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -332,9 +453,9 @@ func normalizeClause(cl cnf.Clause) (cnf.Clause, bool) {
 	return out[:w], false
 }
 
-func (c *compiler) checkBudget() error {
+func (c *compiler) checkBudget(ctx context.Context) error {
 	if c.steps.Add(1)%64 == 0 {
-		if err := c.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
@@ -348,20 +469,23 @@ func (c *compiler) checkBudget() error {
 }
 
 // parallelSpawnDepth caps how deep in the decision recursion component
-// fan-out may still spawn goroutines: past it, subproblems are small enough
-// that handoff overhead dominates, even when the clause-count floor passes.
+// fan-out and speculative branching may still spawn goroutines: past it,
+// subproblems are small enough that handoff overhead dominates, even when
+// the clause-count floor passes.
 const parallelSpawnDepth = 32
 
 // compile compiles a set of normalized clauses (no duplicates or
 // tautologies) into a d-DNNF node. depth counts Shannon decisions above this
-// call and gates the parallel fan-out.
-func (c *compiler) compile(clauses []cnf.Clause, depth int) (*Node, error) {
-	if err := c.checkBudget(); err != nil {
+// call and gates the parallel fan-out. counts, when non-nil, is owned by
+// this call and reflects exactly the given clause set; it is maintained
+// through propagation and conditioning for the dynamic branching heuristic.
+func (c *compiler) compile(ctx context.Context, clauses []cnf.Clause, depth int, counts *occCounts) (*Node, error) {
+	if err := c.checkBudget(ctx); err != nil {
 		return nil, err
 	}
 
 	// Unit propagation.
-	units, rest, conflict := propagate(clauses)
+	units, rest, conflict := propagate(clauses, counts)
 	c.propagations.Add(int64(len(units)))
 	if conflict {
 		return c.b.False(), nil
@@ -379,22 +503,37 @@ func (c *compiler) compile(clauses []cnf.Clause, depth int) (*Node, error) {
 	if len(comps) > 1 {
 		c.components.Add(1)
 	}
-	nodes, err := c.compileComponents(comps, depth)
+	nodes, err := c.compileComponents(ctx, comps, depth, counts)
 	if err != nil {
 		return nil, err
 	}
 	return c.b.And(append(unitNodes, nodes...)...), nil
 }
 
+// componentCounts returns the occurrence counts to hand a component of a
+// split. A single component inherits the caller's counts wholesale (every
+// occurrence it tracks belongs to that component); a multi-way split
+// rebuilds per-component counts — the split already paid a pass over each
+// component's clauses, and fresh maps keep downstream branch clones small.
+func componentCounts(comps [][]cnf.Clause, i int, counts *occCounts) *occCounts {
+	if counts == nil {
+		return nil
+	}
+	if len(comps) == 1 {
+		return counts
+	}
+	return newOccCounts(comps[i])
+}
+
 // compileComponents compiles each component, fanning them out across the
 // spawn budget when one is configured. Components are independent
 // subproblems (disjoint variables), so any interleaving builds the same
 // hash-consed nodes; results are assembled in component order either way.
-func (c *compiler) compileComponents(comps [][]cnf.Clause, depth int) ([]*Node, error) {
+func (c *compiler) compileComponents(ctx context.Context, comps [][]cnf.Clause, depth int, counts *occCounts) ([]*Node, error) {
 	nodes := make([]*Node, len(comps))
 	if c.limit == nil || len(comps) == 1 || depth > parallelSpawnDepth {
 		for i, comp := range comps {
-			n, err := c.compileComponent(comp, depth)
+			n, err := c.compileComponent(ctx, comp, depth, componentCounts(comps, i, counts))
 			if err != nil {
 				return nil, err
 			}
@@ -406,16 +545,17 @@ func (c *compiler) compileComponents(comps [][]cnf.Clause, depth int) ([]*Node, 
 	var wg sync.WaitGroup
 	for i := 1; i < len(comps); i++ {
 		i := i
+		cnt := componentCounts(comps, i, counts)
 		if len(comps[i]) >= parallelComponentFloor &&
-			c.limit.Go(&wg, func() { nodes[i], errs[i] = c.compileComponent(comps[i], depth) }) {
+			c.limit.Go(&wg, func() { nodes[i], errs[i] = c.compileComponent(ctx, comps[i], depth, cnt) }) {
 			continue
 		}
-		nodes[i], errs[i] = c.compileComponent(comps[i], depth)
+		nodes[i], errs[i] = c.compileComponent(ctx, comps[i], depth, cnt)
 	}
 	// The current goroutine takes the first component itself — with no spare
 	// tokens the whole loop degenerates to the sequential order shifted by
 	// one, and with tokens it overlaps with the spawned workers.
-	nodes[0], errs[0] = c.compileComponent(comps[0], depth)
+	nodes[0], errs[0] = c.compileComponent(ctx, comps[0], depth, componentCounts(comps, 0, counts))
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -426,8 +566,9 @@ func (c *compiler) compileComponents(comps [][]cnf.Clause, depth int) ([]*Node, 
 }
 
 // compileComponent compiles a single connected component, consulting the
-// component cache.
-func (c *compiler) compileComponent(clauses []cnf.Clause, depth int) (*Node, error) {
+// component cache. counts is owned by this call (branches clone or inherit
+// it) and may be nil when the heuristic does not consume counts.
+func (c *compiler) compileComponent(ctx context.Context, clauses []cnf.Clause, depth int, counts *occCounts) (*Node, error) {
 	var key string
 	if !c.opts.DisableCache {
 		key = cacheKey(clauses)
@@ -444,24 +585,43 @@ func (c *compiler) compileComponent(clauses []cnf.Clause, depth int) (*Node, err
 		c.cacheMisses.Add(1)
 	}
 
-	v := c.pickVar(clauses)
+	v := c.pickVar(clauses, counts)
 	c.decisions.Add(1)
 
-	hiClauses, hiEmpty := assign(clauses, cnf.Lit(v))
-	var hi *Node
-	var err error
-	if hiEmpty {
-		hi = c.b.False()
-	} else if hi, err = c.compile(hiClauses, depth+1); err != nil {
-		return nil, err
-	}
+	// The hi branch gets a clone of the counts; the lo branch inherits the
+	// original (it is compiled last on the sequential path and owns its
+	// copy exclusively on the speculative one). Conditioning itself is pure
+	// on the clause slices, so computing both cofactors up front changes
+	// nothing about the sequential compiler's node allocation order.
+	hiCounts := counts.clone()
+	loCounts := counts
+	hiClauses, hiEmpty := assign(clauses, cnf.Lit(v), hiCounts)
+	loClauses, loEmpty := assign(clauses, cnf.Lit(-v), loCounts)
 
-	loClauses, loEmpty := assign(clauses, cnf.Lit(-v))
-	var lo *Node
-	if loEmpty {
-		lo = c.b.False()
-	} else if lo, err = c.compile(loClauses, depth+1); err != nil {
-		return nil, err
+	var hi, lo *Node
+	var err error
+	speculated := false
+	if c.opts.Speculate && c.limit != nil && depth <= parallelSpawnDepth &&
+		!hiEmpty && !loEmpty && len(clauses) >= speculateClauseFloor {
+		// Both cofactors carry real work: try to compile them concurrently.
+		// An unsatisfiable-at-assignment cofactor never reaches this point,
+		// so a speculated sibling is never trivially wasted.
+		hi, lo, speculated, err = c.speculateBranches(ctx, hiClauses, loClauses, hiCounts, loCounts, depth)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !speculated {
+		if hiEmpty {
+			hi = c.b.False()
+		} else if hi, err = c.compile(ctx, hiClauses, depth+1, hiCounts); err != nil {
+			return nil, err
+		}
+		if loEmpty {
+			lo = c.b.False()
+		} else if lo, err = c.compile(ctx, loClauses, depth+1, loCounts); err != nil {
+			return nil, err
+		}
 	}
 
 	n := c.b.Decision(v, hi, lo)
@@ -473,8 +633,68 @@ func (c *compiler) compileComponent(clauses []cnf.Clause, depth int) (*Node, err
 	return n, nil
 }
 
+// speculateBranches compiles the two cofactors of a Shannon decision
+// concurrently when a spawn token is idle: the hi cofactor on a fresh
+// goroutine, the lo cofactor on the calling one. The cofactors are variable-
+// disjoint subproblems of the same component split by the decision variable,
+// so they are independent by construction; node and step budgets are
+// accounted on the compiler's shared atomics, which keeps MaxNodes semantics
+// identical to the sequential order. A branch that fails cancels the branch
+// context so its in-flight sibling aborts at its next budget check instead
+// of running to completion. ok == false means no token was idle and nothing
+// ran — the caller falls back to sequential compilation.
+func (c *compiler) speculateBranches(ctx context.Context, hiClauses, loClauses []cnf.Clause, hiCounts, loCounts *occCounts, depth int) (hi, lo *Node, ok bool, err error) {
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var hiErr, loErr error
+	if !c.limit.Go(&wg, func() {
+		if hi, hiErr = c.compile(bctx, hiClauses, depth+1, hiCounts); hiErr != nil {
+			cancel()
+		}
+	}) {
+		return nil, nil, false, nil
+	}
+	c.speculated.Add(1)
+	if lo, loErr = c.compile(bctx, loClauses, depth+1, loCounts); loErr != nil {
+		cancel()
+	}
+	wg.Wait()
+	return hi, lo, true, c.reconcileBranchErrs(ctx, hiErr, loErr)
+}
+
+// reconcileBranchErrs folds the two speculative branch outcomes into the
+// error the sequential compiler would have reported. The caller's own
+// cancellation wins outright; otherwise a branch's context.Canceled can only
+// be sibling-induced (the branch context is cancelled exactly when a branch
+// fails), so the sibling's real budget error — ErrNodeBudget, ErrTimeout —
+// is surfaced instead of the induced cancellation.
+func (c *compiler) reconcileBranchErrs(ctx context.Context, hiErr, loErr error) error {
+	if hiErr == nil && loErr == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if errors.Is(hiErr, context.Canceled) || errors.Is(loErr, context.Canceled) {
+		c.specCancels.Add(1)
+	}
+	for _, err := range []error{hiErr, loErr} {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	if hiErr != nil {
+		return hiErr
+	}
+	return loErr
+}
+
 // pickVar selects the branching variable per the configured heuristic.
-func (c *compiler) pickVar(clauses []cnf.Clause) int {
+// counts, when non-nil, is the incrementally maintained occurrence count of
+// every variable in the clause set (see occCounts); the most-frequent
+// heuristic consumes it and falls back to recomputation without it.
+func (c *compiler) pickVar(clauses []cnf.Clause, counts *occCounts) int {
 	switch c.opts.Order {
 	case OrderLexicographic:
 		best := 0
@@ -486,27 +706,66 @@ func (c *compiler) pickVar(clauses []cnf.Clause) int {
 			}
 		}
 		return best
+	case OrderJeroslowWang:
+		return pickJeroslowWang(clauses)
 	default:
-		counts := make(map[int]int)
-		for _, cl := range clauses {
-			for _, l := range cl {
-				counts[l.Var()]++
-			}
+		if counts != nil {
+			return counts.pickMostFrequent(clauses)
 		}
-		best, bestCount := 0, -1
-		for v, n := range counts {
-			if n > bestCount || (n == bestCount && v < best) {
-				best, bestCount = v, n
-			}
-		}
-		return best
+		return pickMostFrequentRecompute(clauses)
 	}
+}
+
+// pickMostFrequentRecompute is the from-scratch most-frequent heuristic: a
+// full occurrence-count rebuild per decision. Kept as the counts == nil
+// fallback and as the oracle the incremental occCounts implementation is
+// agreement-tested against.
+func pickMostFrequentRecompute(clauses []cnf.Clause) int {
+	counts := make(map[int]int)
+	for _, cl := range clauses {
+		for _, l := range cl {
+			counts[l.Var()]++
+		}
+	}
+	best, bestCount := 0, -1
+	for v, n := range counts {
+		if n > bestCount || (n == bestCount && v < best) {
+			best, bestCount = v, n
+		}
+	}
+	return best
+}
+
+// pickJeroslowWang scores every variable by the two-sided Jeroslow–Wang
+// measure Σ 2^-|cl| over the clauses mentioning it and returns the maximum,
+// ties broken by the smaller variable. Scores are sums of dyadic rationals
+// accumulated in deterministic clause order, so the choice is reproducible.
+func pickJeroslowWang(clauses []cnf.Clause) int {
+	scores := make(map[int]float64)
+	for _, cl := range clauses {
+		w := 1.0
+		for i := 0; i < len(cl) && i < 62; i++ {
+			w /= 2
+		}
+		for _, l := range cl {
+			scores[l.Var()] += w
+		}
+	}
+	best, bestScore := 0, -1.0
+	for v, s := range scores {
+		if s > bestScore || (s == bestScore && v < best) {
+			best, bestScore = v, s
+		}
+	}
+	return best
 }
 
 // propagate performs exhaustive unit propagation. It returns the implied
 // literals, the residual clauses (each with ≥2 literals, mentioning no
-// assigned variable), and whether a conflict was derived.
-func propagate(clauses []cnf.Clause) (units []cnf.Lit, rest []cnf.Clause, conflict bool) {
+// assigned variable), and whether a conflict was derived. counts, when
+// non-nil, is maintained to reflect the residual clause set (its contents
+// are unspecified when a conflict is reported — the branch is dead).
+func propagate(clauses []cnf.Clause, counts *occCounts) (units []cnf.Lit, rest []cnf.Clause, conflict bool) {
 	assignment := make(map[int]bool)
 	work := clauses
 	for {
@@ -533,7 +792,7 @@ func propagate(clauses []cnf.Clause) (units []cnf.Lit, rest []cnf.Clause, confli
 		}
 		next := make([]cnf.Clause, 0, len(work))
 		for _, cl := range work {
-			reduced, sat, empty := reduce(cl, assignment)
+			reduced, sat, empty := reduce(cl, assignment, counts)
 			if sat {
 				continue
 			}
@@ -547,8 +806,10 @@ func propagate(clauses []cnf.Clause) (units []cnf.Lit, rest []cnf.Clause, confli
 	return units, work, false
 }
 
-// reduce simplifies a clause under a partial assignment.
-func reduce(cl cnf.Clause, assignment map[int]bool) (out cnf.Clause, sat, empty bool) {
+// reduce simplifies a clause under a partial assignment, maintaining counts:
+// a satisfied clause leaves the residual set wholesale, a falsified literal
+// is struck from its clause.
+func reduce(cl cnf.Clause, assignment map[int]bool, counts *occCounts) (out cnf.Clause, sat, empty bool) {
 	keep := cl[:0:0]
 	for _, l := range cl {
 		val, ok := assignment[l.Var()]
@@ -557,7 +818,15 @@ func reduce(cl cnf.Clause, assignment map[int]bool) (out cnf.Clause, sat, empty 
 			continue
 		}
 		if val == l.Positive() {
+			counts.removeClause(cl)
 			return nil, true, false
+		}
+	}
+	if counts != nil && len(keep) < len(cl) {
+		for _, l := range cl {
+			if _, ok := assignment[l.Var()]; ok {
+				counts.removeLit(l.Var())
+			}
 		}
 	}
 	if len(keep) == 0 {
@@ -568,7 +837,9 @@ func reduce(cl cnf.Clause, assignment map[int]bool) (out cnf.Clause, sat, empty 
 
 // assign simplifies the clauses under a single literal assignment. It
 // returns the residual clauses and whether an empty clause was derived.
-func assign(clauses []cnf.Clause, l cnf.Lit) ([]cnf.Clause, bool) {
+// counts, when non-nil, is maintained to reflect the residual (unspecified
+// after an empty-clause derivation — the branch is dead).
+func assign(clauses []cnf.Clause, l cnf.Lit, counts *occCounts) ([]cnf.Clause, bool) {
 	out := make([]cnf.Clause, 0, len(clauses))
 	for _, cl := range clauses {
 		sat := false
@@ -583,12 +854,14 @@ func assign(clauses []cnf.Clause, l cnf.Lit) ([]cnf.Clause, bool) {
 			}
 		}
 		if sat {
+			counts.removeClause(cl)
 			continue
 		}
 		if !removed {
 			out = append(out, cl)
 			continue
 		}
+		counts.removeLit(l.Var())
 		keep := make(cnf.Clause, 0, len(cl)-1)
 		for _, m := range cl {
 			if m != -l {

@@ -88,23 +88,39 @@ func TestParallelCompileMatchesSequential(t *testing.T) {
 
 // TestWorkersOneIsDeterministic pins the workers=1 guarantee: the sequential
 // path allocates node IDs in a fixed order, so two runs serialize to
-// byte-identical NNF files.
+// byte-identical NNF files. Speculation and portfolio mode are inert at
+// workers=1 (no spawn tokens, fewer workers than racers), so enabling them
+// must leave the bytes identical too.
 func TestWorkersOneIsDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(89))
+	variants := []Options{
+		{Workers: 1},
+		{Workers: 1, Speculate: true},
+		{Workers: 1, Portfolio: true},
+		{Workers: 1, Speculate: true, Portfolio: true},
+	}
 	for trial := 0; trial < 10; trial++ {
 		f := multiComponentCNF(rng, 3, 4, 5)
-		var bufs [2]bytes.Buffer
-		for i := range bufs {
-			n, _, err := Compile(context.Background(), f, Options{Workers: 1})
-			if err != nil {
-				t.Fatal(err)
+		var want []byte
+		for vi, opts := range variants {
+			for run := 0; run < 2; run++ {
+				n, stats, err := Compile(context.Background(), f, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.SpeculatedDecisions != 0 || stats.PortfolioRacers != 0 {
+					t.Fatalf("trial %d variant %d: speculation/portfolio engaged at workers=1: %+v", trial, vi, stats)
+				}
+				var buf bytes.Buffer
+				if err := WriteNNF(&buf, n); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+				} else if !bytes.Equal(want, buf.Bytes()) {
+					t.Fatalf("trial %d variant %d run %d: workers=1 circuit diverges from plain sequential", trial, vi, run)
+				}
 			}
-			if err := WriteNNF(&bufs[i], n); err != nil {
-				t.Fatal(err)
-			}
-		}
-		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
-			t.Fatalf("trial %d: workers=1 produced two different circuits", trial)
 		}
 	}
 }

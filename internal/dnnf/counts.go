@@ -1,0 +1,96 @@
+package dnnf
+
+import "repro/internal/cnf"
+
+// occCounts tracks, for every variable of a residual clause set, the number
+// of clauses mentioning it. The dynamic most-frequent branching heuristic
+// needs exactly these counts at every Shannon decision; recomputing them
+// from scratch per decision costs a map build over all literals, so the
+// compiler instead maintains one occCounts per branch incrementally: assign
+// and propagate report every clause they satisfy and every literal they
+// strike, and pickVar reduces to a lookup scan.
+//
+// Ownership discipline (this is what makes the concurrent speculative
+// compiler safe without locks): an occCounts is mutated only by the single
+// goroutine that owns it. At a Shannon decision the hi branch receives a
+// clone and the lo branch inherits the original; at a multi-way component
+// split each component rebuilds fresh counts (splits already pay a pass over
+// every component clause, and per-component maps keep clones small). A nil
+// *occCounts disables maintenance — every method is a no-op — so heuristics
+// that do not consume counts pay nothing.
+type occCounts struct {
+	m map[int]int
+}
+
+// newOccCounts builds the counts for a clause set. Clauses are normalized
+// (each variable appears at most once per clause), so the count of v is the
+// number of clauses whose literal set mentions v.
+func newOccCounts(clauses []cnf.Clause) *occCounts {
+	c := &occCounts{m: make(map[int]int)}
+	for _, cl := range clauses {
+		for _, l := range cl {
+			c.m[l.Var()]++
+		}
+	}
+	return c
+}
+
+// clone returns an independent copy for a speculative or hi branch.
+func (c *occCounts) clone() *occCounts {
+	if c == nil {
+		return nil
+	}
+	out := &occCounts{m: make(map[int]int, len(c.m))}
+	for v, n := range c.m {
+		out.m[v] = n
+	}
+	return out
+}
+
+// get returns the occurrence count of v.
+func (c *occCounts) get(v int) int { return c.m[v] }
+
+// removeClause notes that an entire clause left the residual set (it became
+// satisfied): every variable it mentions loses one occurrence.
+func (c *occCounts) removeClause(cl cnf.Clause) {
+	if c == nil {
+		return
+	}
+	for _, l := range cl {
+		c.removeLit(l.Var())
+	}
+}
+
+// removeLit notes that one literal was struck from a surviving clause.
+func (c *occCounts) removeLit(v int) {
+	if c == nil {
+		return
+	}
+	if n := c.m[v] - 1; n > 0 {
+		c.m[v] = n
+	} else {
+		delete(c.m, v)
+	}
+}
+
+// pickMostFrequent scans the clause set's literals and returns the variable
+// with the highest maintained occurrence count, ties broken by the smaller
+// variable — the same total order the recomputing heuristic uses, so the two
+// implementations agree on every input (property-tested). Scanning literals
+// instead of the counts map keeps the choice independent of map iteration
+// order and correct under component splits: a variable's occurrences all lie
+// in one component, so the branch-global counts restricted to this
+// component's literals are exactly the per-component counts.
+func (c *occCounts) pickMostFrequent(clauses []cnf.Clause) int {
+	best, bestCount := 0, -1
+	for _, cl := range clauses {
+		for _, l := range cl {
+			v := l.Var()
+			n := c.m[v]
+			if n > bestCount || (n == bestCount && v < best) {
+				best, bestCount = v, n
+			}
+		}
+	}
+	return best
+}

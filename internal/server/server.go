@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/dnnf"
 	"repro/internal/metrics"
 	"repro/internal/wire"
 )
@@ -536,6 +537,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSec: s.rec.Uptime().Seconds(),
 		Pool:      s.pool.Stats(),
 		Cache:     wire.FromCacheStats(repro.CompileCacheStats()),
+		Compiler:  wire.FromCompilerCounters(dnnf.SpeculationCounters()),
 		Routes:    routes,
 		Datasets:  datasets,
 	})

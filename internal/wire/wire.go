@@ -206,6 +206,37 @@ func FromCacheStats(s dnnf.CacheStats) CacheStats {
 	}
 }
 
+// CompilerStats is the process-wide knowledge-compiler activity from GET
+// /v1/stats: how many compilations ran, how much speculative branch
+// parallelism engaged, and how the heuristic portfolio races resolved.
+type CompilerStats struct {
+	Compilations int64 `json:"compilations"`
+	// SpeculatedDecisions counts Shannon decisions whose cofactors compiled
+	// concurrently; SpeculationCancels counts in-flight siblings cancelled
+	// when the other branch failed its budget.
+	SpeculatedDecisions int64 `json:"speculated_decisions"`
+	SpeculationCancels  int64 `json:"speculation_cancels"`
+	// PortfolioRaces counts compilations raced across heuristics,
+	// PortfolioLosersCancelled the racers cancelled after a win, and
+	// WinsByOrder the wins per heuristic name ("freq", "jw", ...).
+	PortfolioRaces           int64            `json:"portfolio_races"`
+	PortfolioLosersCancelled int64            `json:"portfolio_losers_cancelled"`
+	WinsByOrder              map[string]int64 `json:"wins_by_order,omitempty"`
+}
+
+// FromCompilerCounters converts a dnnf.SpeculationCounters snapshot to its
+// wire form.
+func FromCompilerCounters(c dnnf.CompilerCounters) CompilerStats {
+	return CompilerStats{
+		Compilations:             c.Compilations,
+		SpeculatedDecisions:      c.SpeculatedDecisions,
+		SpeculationCancels:       c.SpeculationCancels,
+		PortfolioRaces:           c.PortfolioRaces,
+		PortfolioLosersCancelled: c.PortfolioLosersCancelled,
+		WinsByOrder:              c.WinsByOrder,
+	}
+}
+
 // RouteStats is one route's request counters from GET /v1/stats.
 type RouteStats struct {
 	Route string `json:"route"`
@@ -239,6 +270,7 @@ type StatsResponse struct {
 	UptimeSec float64        `json:"uptime_sec"`
 	Pool      PoolStats      `json:"pool"`
 	Cache     CacheStats     `json:"cache"`
+	Compiler  CompilerStats  `json:"compiler"`
 	Routes    []RouteStats   `json:"routes"`
 	Datasets  []DatasetStats `json:"datasets,omitempty"`
 }

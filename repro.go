@@ -242,6 +242,19 @@ type Options struct {
 	// GOMAXPROCS; ≥ 1 is taken as-is (1 = the sequential compiler). Other
 	// negative values are invalid.
 	CompileWorkers int
+	// Speculate compiles the two cofactors of shallow Shannon decisions
+	// concurrently inside the knowledge compiler. Connected components only
+	// split after unit propagation and top-level Tseytin lineages are
+	// single-component, so without speculation the compiler's fan-out stalls
+	// exactly on the hardest instances. Inert when the compiler runs with
+	// one worker; results are identical for every setting.
+	Speculate bool
+	// Portfolio races the same CNF under the compiler's variable-ordering
+	// heuristics (the configured order plus the dynamic alternatives) when
+	// at least two compile workers are available; the first finisher wins
+	// and its circuit enters the canonical compilation cache, so a win on
+	// any heuristic is amortized across renamed-isomorphic lineages.
+	Portfolio bool
 	// CacheSize sizes the process-wide d-DNNF compilation cache (number of
 	// compiled circuits retained across Explain calls). Zero means the
 	// default size; -1 disables cross-call caching. Other negative values

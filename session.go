@@ -395,6 +395,8 @@ func (s *Session) ExplainWithBudget(ctx context.Context, budget ExplainBudget) (
 			MaxNodes:         s.opts.MaxNodes,
 			Workers:          inner,
 			CompileWorkers:   compileWorkers,
+			Speculate:        s.opts.Speculate,
+			Portfolio:        s.opts.Portfolio,
 			NoCanonicalCache: s.opts.NoCanonicalCache,
 			Strategy:         s.opts.Strategy,
 			Cache:            s.cache,

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/flights"
+)
+
+// TestExplainSpeculativeMatchesBaseline is the end-to-end property for the
+// speculative/portfolio compiler knobs: across the flights example and a
+// random multi-answer join, every (Speculate, Portfolio, Workers) combination
+// must produce explanations big.Rat-identical to the serial, cache-disabled
+// baseline. Run under -race in CI this also exercises the concurrent branch
+// and racer bookkeeping through the full pipeline.
+func TestExplainSpeculativeMatchesBaseline(t *testing.T) {
+	type instance struct {
+		name string
+		d    *Database
+		q    *Query
+	}
+	fd, _ := flights.Build()
+	rd := NewDatabase()
+	rd.CreateRelation("R", "a", "b")
+	rd.CreateRelation("S", "b", "c")
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 18; i++ {
+		rd.MustInsert("R", true, Int(int64(i%6)), Int(int64(rng.Intn(4))))
+	}
+	for i := 0; i < 12; i++ {
+		rd.MustInsert("S", true, Int(int64(rng.Intn(4))), Int(int64(rng.Intn(3))))
+	}
+	rq, err := ParseQuery(`q(a) :- R(a, b), S(b, c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range []instance{
+		{"flights", fd, flights.Query()},
+		{"random-join", rd, rq},
+	} {
+		baseline, err := Explain(context.Background(), inst.d, inst.q, Options{Workers: 1, CompileWorkers: 1, CacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, knobs := range []Options{
+				{Speculate: true},
+				{Portfolio: true},
+				{Speculate: true, Portfolio: true},
+			} {
+				opts := knobs
+				opts.Workers = workers
+				opts.CompileWorkers = -1 // GOMAXPROCS: give speculation room
+				opts.CacheSize = -1
+				got, err := Explain(context.Background(), inst.d, inst.q, opts)
+				if err != nil {
+					t.Fatalf("%s %+v: %v", inst.name, opts, err)
+				}
+				if len(got) != len(baseline) {
+					t.Fatalf("%s %+v: %d explanations, want %d", inst.name, opts, len(got), len(baseline))
+				}
+				for i := range baseline {
+					b, g := baseline[i], got[i]
+					if b.Tuple.String() != g.Tuple.String() || b.Method != g.Method {
+						t.Fatalf("%s %+v answer %d: tuple/method diverged", inst.name, opts, i)
+					}
+					if len(b.Values) != len(g.Values) {
+						t.Fatalf("%s %+v answer %d: value counts diverged", inst.name, opts, i)
+					}
+					for f, bv := range b.Values {
+						if gv := g.Values[f]; gv == nil || gv.Cmp(bv) != 0 {
+							t.Fatalf("%s %+v answer %d fact %d: %v, want %v", inst.name, opts, i, f, gv, bv)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExplainSpeculativeCancelledContext pins that caller cancellation with
+// the speculative/portfolio knobs on is an error, not a fallback answer.
+func TestExplainSpeculativeCancelledContext(t *testing.T) {
+	d, _ := flights.Build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Speculate: true, Portfolio: true, Workers: 4, CompileWorkers: -1}
+	if _, err := Explain(ctx, d, flights.Query(), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
