@@ -1,0 +1,97 @@
+// Command promcheck scrapes a Prometheus text exposition and validates it:
+// every line must parse, every sample needs a preceding # TYPE header, and
+// histograms must be cumulative with a +Inf bucket equal to _count. With
+// -require (repeatable), it additionally fails unless a sample matches each
+// requirement — `name` or `name{label="value",...}`, labels matched as a
+// subset. CI runs it against a live shapleyd's /metrics.
+//
+// Usage:
+//
+//	promcheck -url http://localhost:8080/metrics
+//	promcheck -url ... -require 'repro_requests_total{route="/v1/explain",code="200"}'
+//	promcheck -file exposition.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/promlint"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "metrics endpoint to scrape (e.g. http://localhost:8080/metrics)")
+		file    = flag.String("file", "", "read the exposition from a file instead of scraping ('-' = stdin)")
+		timeout = flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	)
+	var requires []string
+	flag.Func("require", "series that must be present, `name` or `name{label=\"value\",...}` (repeatable)", func(v string) error {
+		requires = append(requires, v)
+		return nil
+	})
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var text string
+	switch {
+	case *url != "":
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(*url)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("%s: status %s", *url, resp.Status)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fail("reading %s: %v", *url, err)
+		}
+		text = string(raw)
+	case *file == "-":
+		raw, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fail("reading stdin: %v", err)
+		}
+		text = string(raw)
+	case *file != "":
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			fail("%v", err)
+		}
+		text = string(raw)
+	default:
+		fail("one of -url or -file is required")
+	}
+
+	stats, err := promlint.Validate(text)
+	if err != nil {
+		fail("invalid exposition: %v", err)
+	}
+	samples, _, err := promlint.Parse(text)
+	if err != nil {
+		fail("%v", err)
+	}
+	missing := 0
+	for _, req := range requires {
+		if err := promlint.Require(samples, req); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok — %d families, %d samples, %d required series present\n",
+		stats.Families, stats.Samples, len(requires))
+}

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"time"
 
 	"repro"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/flights"
 	"repro/internal/imdb"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -54,6 +57,7 @@ func main() {
 		budget  = flag.Duration("budget", 0, "anytime budget: exact-attempt deadline before degrading to sampled estimates (0 = no anytime tier)")
 		minSamp = flag.Int("approx-min-samples", 0, "sampling minimum permutation count (0 = sampler default)")
 		seed    = flag.Int64("seed", 0, "sampling seed perturbation (0 = the canonical lineage-derived seed)")
+		doTrace = flag.Bool("trace", false, "record per-stage spans (ground, tseytin, compile, shapley, ...) and print the span tree — or attach it to -json output")
 	)
 	flag.Parse()
 
@@ -102,8 +106,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With -trace, the whole run executes under a collecting span root — the
+	// same instrumentation the shapleyd service exposes per request.
+	var root *trace.Span
+	if *doTrace {
+		ctx, root = trace.NewRoot(ctx, "explain", nil)
+	}
 	start := time.Now()
 	explanations, err := repro.Explain(ctx, d, q, opts)
+	root.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shapley:", err)
 		os.Exit(1)
@@ -116,6 +127,9 @@ func main() {
 			Query:     q.String(),
 			ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
 			Tuples:    wire.EncodeExplanations(d, explanations, *top),
+		}
+		if root != nil {
+			resp.Trace = root.Snapshot()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -149,6 +163,32 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+	if root != nil {
+		fmt.Println("stage trace:")
+		printSpan(root.Snapshot(), 0)
+	}
+}
+
+// printSpan renders a span tree, one indented line per stage with its wall
+// time and attributes.
+func printSpan(n *wire.TraceSpan, depth int) {
+	attrs := ""
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%v", k, n.Attrs[k])
+		}
+		attrs = "  [" + strings.Join(parts, " ") + "]"
+	}
+	fmt.Printf("%s%-10s %9.3fms%s\n", strings.Repeat("  ", depth+1), n.Name, n.DurationMs, attrs)
+	for _, c := range n.Children {
+		printSpan(c, depth+1)
 	}
 }
 

@@ -22,7 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,16 +63,31 @@ func main() {
 		emaxn    = flag.Int("explain-max-nodes", 0, "per-explain compiled-circuit node budget before degrading to sampled estimates (0 = no node trigger)")
 		aminsamp = flag.Int("approx-min-samples", 0, "sampling fallback's minimum permutation count (0 = sampler default)")
 		atarget  = flag.Float64("approx-target-ci", 0, "sampling fallback's target 95%-CI half-width, in (0,1) (0 = sampler default)")
+		slowTO   = flag.Duration("slow-explain", 0, "wall-clock threshold past which an explain is logged and kept (with its stage trace) in the /v1/debug/slow ring (0 = disabled)")
+		slowCap  = flag.Int("slow-log-size", 0, "slow-explain ring capacity (0 = default)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (loopback clients only)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "shapleyd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
 	strategy, err := repro.ParseShapleyStrategy(*strat)
 	if err != nil {
-		log.Fatalf("shapleyd: %v", err)
+		fatal("bad -strategy", err)
 	}
 	syncPolicy, err := repro.ParseSyncPolicy(*fsync)
 	if err != nil {
-		log.Fatalf("shapleyd: %v", err)
+		fatal("bad -fsync", err)
 	}
 
 	cfg := server.Config{
@@ -80,6 +95,10 @@ func main() {
 		PoolSize:       *poolSize,
 		RequestTimeout: *reqTO,
 		MaxInFlight:    *inflight,
+		Logger:         logger,
+		SlowThreshold:  *slowTO,
+		SlowLogSize:    *slowCap,
+		EnablePprof:    *pprofOn,
 		Options: repro.Options{
 			Timeout:          *timeout,
 			Workers:          *workers,
@@ -100,10 +119,10 @@ func main() {
 		},
 	}
 	if err := cfg.Options.Validate(); err != nil {
-		log.Fatalf("shapleyd: %v", err)
+		fatal("invalid options", err)
 	}
 	if *storeDir != "" && *store != repro.BackendSorted {
-		log.Fatalf("shapleyd: -store-dir requires -store %s", repro.BackendSorted)
+		fatal("bad flags", fmt.Errorf("-store-dir requires -store %s", repro.BackendSorted))
 	}
 	for _, name := range strings.Split(*datasets, ",") {
 		name = strings.TrimSpace(name)
@@ -119,7 +138,7 @@ func main() {
 		case "":
 			continue
 		default:
-			log.Fatalf("shapleyd: unknown dataset %q (want flights, tpch, or imdb)", name)
+			fatal("unknown dataset", fmt.Errorf("%q (want flights, tpch, or imdb)", name))
 		}
 		// Generators build on the default backend; move the dataset onto
 		// the requested store (fact IDs survive the migration, so nothing
@@ -131,30 +150,26 @@ func main() {
 			if *storeDir != "" {
 				dir = filepath.Join(*storeDir, name)
 				if err := os.MkdirAll(dir, 0o755); err != nil {
-					log.Fatalf("shapleyd: %v", err)
+					fatal("creating store dir", err)
 				}
 			}
 			if dir != "" && repro.DatabasePersisted(dir) {
 				pd, info, err := repro.OpenDatabaseInfo(dir, syncPolicy)
 				if err != nil {
-					log.Fatalf("shapleyd: reloading %s from %s: %v", name, dir, err)
+					fatal(fmt.Sprintf("reloading %s from %s", name, dir), err)
 				}
-				if info.Truncated {
-					log.Printf("dataset %s: recovered %d snapshot + %d WAL records; dropped %d bytes of torn WAL tail",
-						name, info.SnapshotRecords, info.LogRecords, info.DroppedBytes)
-				} else {
-					log.Printf("dataset %s: recovered %d snapshot + %d WAL records (no torn tail)",
-						name, info.SnapshotRecords, info.LogRecords)
-				}
+				logger.Info("dataset recovered", "dataset", name,
+					"snapshot_records", info.SnapshotRecords, "wal_records", info.LogRecords,
+					"torn_tail", info.Truncated, "dropped_bytes", info.DroppedBytes)
 				d = pd
 			} else {
 				md, err := d.Migrate(*store, dir)
 				if err != nil {
-					log.Fatalf("shapleyd: migrating %s to %s: %v", name, *store, err)
+					fatal(fmt.Sprintf("migrating %s to %s", name, *store), err)
 				}
 				d = md
 				if err := d.SetSyncPolicy(syncPolicy); err != nil {
-					log.Fatalf("shapleyd: %v", err)
+					fatal("setting sync policy", err)
 				}
 			}
 		}
@@ -162,13 +177,13 @@ func main() {
 			d.SetIndexBudget(*indexes)
 		}
 		cfg.Datasets[name] = d
-		log.Printf("loaded dataset %s (%d facts, %s backend) in %v",
-			name, d.NumFacts(), d.Backend(), time.Since(start).Round(time.Millisecond))
+		logger.Info("dataset loaded", "dataset", name, "facts", d.NumFacts(),
+			"backend", d.Backend(), "elapsed", time.Since(start).Round(time.Millisecond))
 	}
 
 	s, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("shapleyd: %v", err)
+		fatal("configuring server", err)
 	}
 
 	// Server-level I/O deadlines: slow or stalled clients cannot hold a
@@ -192,26 +207,27 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("shapleyd listening on %s (pool %d, %d dataset(s))", *addr, *poolSize, len(cfg.Datasets))
+	logger.Info("shapleyd listening", "addr", *addr, "pool", *poolSize,
+		"datasets", len(cfg.Datasets), "pprof", *pprofOn, "slow_explain", *slowTO)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("shapleyd: %v", err)
+		fatal("serving", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("shutting down: draining in-flight requests (budget %v)", *drain)
+	logger.Info("shutting down: draining in-flight requests", "budget", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "shapleyd: shutdown: %v\n", err)
+		logger.Error("shutdown", "error", err)
 	}
 	s.Close()
 	// Closing the databases flushes persistent mutation logs to disk.
 	for name, d := range cfg.Datasets {
 		if err := d.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "shapleyd: closing %s: %v\n", name, err)
+			logger.Error("closing dataset", "dataset", name, "error", err)
 		}
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

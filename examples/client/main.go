@@ -9,6 +9,13 @@
 // update (POST /v1/update), asks again, restores the flight, and finally
 // reads the session-pool counters (GET /v1/stats) showing every question
 // after the first hit a warm pooled session.
+//
+// It then walks the observability surfaces: re-asks with "trace": true and
+// prints the per-stage span tree the server recorded for that request,
+// scrapes GET /metrics (Prometheus text exposition, validated with the
+// in-repo promlint parser), and reads GET /v1/debug/slow — the ring of
+// recent explains that crossed the slow threshold, each kept with its
+// request ID and full stage trace.
 package main
 
 import (
@@ -18,9 +25,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sort"
+	"strings"
 
 	"repro"
 	"repro/internal/flights"
+	"repro/internal/promlint"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -34,6 +44,10 @@ func main() {
 	d, _ := flights.Build()
 	srv, err := server.New(server.Config{
 		Datasets: map[string]*repro.Database{"flights": d},
+		// A 1ns threshold makes every explain "slow", so the slow-log
+		// section below has entries to show; production values look like
+		// `shapleyd -slow-explain 250ms`.
+		SlowThreshold: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -96,6 +110,79 @@ func main() {
 	get(base+"/v1/stats", &stats)
 	fmt.Printf("\nsession pool: %d open(s), %d reuse(s); compile cache: %d hit(s), %d miss(es)\n",
 		stats.Pool.Opens, stats.Pool.Reuses, stats.Cache.Hits, stats.Cache.Misses)
+
+	// Observability surface 1: per-request stage tracing. Setting "trace":
+	// true in the request makes the response carry the span tree the server
+	// recorded while answering — which pipeline stages ran, how long each
+	// took, and stage attributes like compiled-circuit node counts and
+	// compile-cache hit kinds.
+	var traced wire.ExplainResponse
+	post(base+"/v1/explain", wire.ExplainRequest{
+		Dataset: "flights", Query: query, Top: 3, Trace: true,
+	}, &traced)
+	fmt.Printf("\nstage trace for request %s (%.3fms total):\n", traced.RequestID, traced.ElapsedMs)
+	printSpan(traced.Trace, 1)
+
+	// Observability surface 2: Prometheus metrics. GET /metrics serves the
+	// text exposition format — request/stage latency histograms, counters
+	// by route, status code, and degradation cause, pool and cache gauges.
+	// promlint is the same structural validator the CI gate runs.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var expo bytes.Buffer
+	expo.ReadFrom(resp.Body)
+	resp.Body.Close()
+	pstats, err := promlint.Validate(expo.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/metrics: %d families, %d samples, exposition valid; e.g.\n", pstats.Families, pstats.Samples)
+	for _, line := range strings.Split(expo.String(), "\n") {
+		if strings.HasPrefix(line, "repro_requests_total") || strings.HasPrefix(line, "repro_compilations_total") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Observability surface 3: the slow-explain log. Explains that exceed
+	// the configured threshold are kept — with their request IDs and full
+	// stage traces — in a bounded ring served at /v1/debug/slow, so the
+	// evidence for a latency spike survives until an operator looks.
+	var slow wire.SlowResponse
+	get(base+"/v1/debug/slow", &slow)
+	fmt.Printf("\nslow-explain log (threshold %.6fms): %d entr(ies); most recent:\n",
+		slow.ThresholdMs, len(slow.Entries))
+	if n := len(slow.Entries); n > 0 {
+		e := slow.Entries[n-1]
+		fmt.Printf("  request %s on %q took %.3fms, root stage %q with %d sub-stage(s)\n",
+			e.RequestID, e.Dataset, e.ElapsedMs, e.Trace.Name, len(e.Trace.Children))
+	}
+}
+
+// printSpan renders a span tree, one indented line per stage with its wall
+// time and sorted attributes.
+func printSpan(n *wire.TraceSpan, depth int) {
+	if n == nil {
+		return
+	}
+	attrs := ""
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%v", k, n.Attrs[k])
+		}
+		attrs = "  [" + strings.Join(parts, " ") + "]"
+	}
+	fmt.Printf("%s%-10s %9.3fms%s\n", strings.Repeat("  ", depth), n.Name, n.DurationMs, attrs)
+	for _, c := range n.Children {
+		printSpan(c, depth+1)
+	}
 }
 
 func post(url string, body, into any) {

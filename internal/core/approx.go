@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,7 +10,9 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/db"
+	"repro/internal/dnnf"
 	"repro/internal/sampling"
+	"repro/internal/trace"
 )
 
 // StageApprox is the pipeline's anytime fallback stage: Monte Carlo
@@ -141,6 +144,18 @@ func (a *ApproxResult) Ranking() []db.FactID {
 // absent from the lineage get exact-zero estimates (they cannot contribute),
 // so every requested fact is covered. The only error is ctx cancellation.
 func ApproxStage(ctx context.Context, elin *circuit.Node, endo []db.FactID, b ExplainBudget) (*ApproxResult, error) {
+	return approxStage(ctx, elin, endo, b, "")
+}
+
+// approxStage is ApproxStage with the degradation cause that routed the
+// request here (empty when approximation was invoked directly); the cause is
+// recorded on the stage's trace span.
+func approxStage(ctx context.Context, elin *circuit.Node, endo []db.FactID, b ExplainBudget, cause string) (*ApproxResult, error) {
+	ctx, sp := trace.Start(ctx, string(StageApprox))
+	if cause != "" {
+		sp.Set("cause", cause)
+	}
+	defer sp.End()
 	game := sampling.NewGame(elin)
 	seed := sampling.DeriveSeed(game.Fingerprint(), b.Seed)
 	ap, err := game.MonteCarloCI(ctx, seed, sampling.Config{
@@ -161,7 +176,39 @@ func ApproxStage(ctx context.Context, elin *circuit.Node, endo []db.FactID, b Ex
 			res.Estimates[id] = Estimate{}
 		}
 	}
+	sp.Set("samples", res.Permutations)
+	sp.Set("seed", res.Seed)
 	return res, nil
+}
+
+// Degradation causes recorded on traces and exported as labeled counters:
+// why a budgeted request answered with sampled estimates instead of exact
+// values.
+const (
+	// CauseMode: the request asked for approximation outright.
+	CauseMode = "mode"
+	// CauseNodeBudget: the exact attempt exceeded the d-DNNF node budget.
+	CauseNodeBudget = "node_budget"
+	// CauseDeadline: the exact attempt's wall-clock budget fired.
+	CauseDeadline = "deadline"
+	// CauseError: the exact attempt failed for another reason.
+	CauseError = "error"
+)
+
+// degradeCause classifies why an exact attempt under budget b degraded to
+// sampling, given the attempt's error (nil only when Mode skipped it).
+func degradeCause(b ExplainBudget, err error) string {
+	switch {
+	case b.Mode == ModeApproximate:
+		return CauseMode
+	case errors.Is(err, dnnf.ErrNodeBudget):
+		return CauseNodeBudget
+	case errors.Is(err, dnnf.ErrTimeout), errors.Is(err, ErrShapleyTimeout),
+		errors.Is(err, context.DeadlineExceeded):
+		return CauseDeadline
+	default:
+		return CauseError
+	}
 }
 
 // hybridBudgetedAt is HybridAt's anytime branch: run the exact pipeline
@@ -170,6 +217,7 @@ func ApproxStage(ctx context.Context, elin *circuit.Node, endo []db.FactID, b Ex
 func hybridBudgetedAt(ctx context.Context, elin *circuit.Node, endo []db.FactID, epoch uint64, art *Artifacts, opts HybridOptions) (*HybridResult, error) {
 	start := time.Now()
 	b := opts.Budget
+	var exactErr error
 	if b.Mode != ModeApproximate {
 		popts := PipelineOptions{
 			CompileTimeout:   opts.Timeout,
@@ -209,15 +257,18 @@ func hybridBudgetedAt(ctx context.Context, elin *circuit.Node, endo []db.FactID,
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
+		exactErr = err
 	}
-	approx, err := ApproxStage(ctx, elin, endo, b)
+	cause := degradeCause(b, exactErr)
+	approx, err := approxStage(ctx, elin, endo, b, cause)
 	if err != nil {
 		return nil, err
 	}
 	return &HybridResult{
-		Method:  MethodApprox,
-		Approx:  approx,
-		Ranking: approx.Ranking(),
-		Elapsed: time.Since(start),
+		Method:        MethodApprox,
+		Approx:        approx,
+		Ranking:       approx.Ranking(),
+		Elapsed:       time.Since(start),
+		DegradedCause: cause,
 	}, nil
 }

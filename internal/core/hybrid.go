@@ -8,6 +8,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/db"
 	"repro/internal/dnnf"
+	"repro/internal/trace"
 )
 
 // Method identifies which algorithm produced a hybrid result.
@@ -49,6 +50,10 @@ type HybridResult struct {
 	Ranking []db.FactID   // facts by decreasing contribution
 	Exact   *PipelineResult
 	Elapsed time.Duration
+	// DegradedCause says why a budgeted request degraded to MethodApprox
+	// ("mode", "node_budget", "deadline", or "error"; see the Cause*
+	// constants). Empty for exact and proxy results.
+	DegradedCause string
 }
 
 // HybridOptions configures the hybrid strategy of Section 6.3.
@@ -137,11 +142,14 @@ func HybridAt(ctx context.Context, elin *circuit.Node, endo []db.FactID, epoch u
 	// Exact failed within budget: fall back to CNF Proxy. The Tseytin CNF
 	// was already produced by the pipeline (it never times out: it is linear
 	// in the circuit).
+	_, psp := trace.Start(ctx, "proxy")
+	psp.Set("cause", degradeCause(opts.Budget, err))
 	formula := res.CNF
 	if formula == nil {
 		formula = cnf.TseytinReserving(elin, maxFactID(endo))
 	}
 	proxy := CNFProxy(formula, endo)
+	psp.End()
 	return &HybridResult{
 		Method:  MethodProxy,
 		Proxy:   proxy,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/db"
 	"repro/internal/dnnf"
+	"repro/internal/trace"
 )
 
 // StageName identifies one named stage of the exact pipeline of Figure 3.
@@ -118,7 +119,10 @@ func ExplainCircuitAt(ctx context.Context, elin *circuit.Node, endo []db.FactID,
 		formula = art.cnf
 	} else {
 		t0 := time.Now()
+		_, tsp := trace.Start(ctx, string(StageTseytin))
 		formula = TseytinStage(elin, endo)
+		tsp.Set("clauses", formula.NumClauses())
+		tsp.End()
 		res.TseytinTime = time.Since(t0)
 		if art != nil {
 			// A fresh upstream output invalidates all downstream stages.
@@ -135,15 +139,20 @@ func ExplainCircuitAt(ctx context.Context, elin *circuit.Node, endo []db.FactID,
 		res.CompileStats = art.compileStats
 	} else {
 		t1 := time.Now()
+		cctx, csp := trace.Start(ctx, string(StageCompile))
 		var stats dnnf.Stats
 		var err error
-		reduced, stats, err = CompileStage(ctx, formula, opts)
+		reduced, stats, err = CompileStage(cctx, formula, opts)
 		res.CompileStats = stats
 		if err != nil {
+			csp.Set("error", err.Error())
+			csp.End()
 			return res, err
 		}
 		res.CompileTime = time.Since(t1)
 		res.DNNFSize = dnnf.Size(reduced)
+		csp.Set("nodes", res.DNNFSize)
+		csp.End()
 		if art != nil {
 			art.hasDNNF, art.dnnfEpoch, art.dnnf = true, epoch, reduced
 			art.dnnfSize, art.compileStats = res.DNNFSize, stats
@@ -157,11 +166,16 @@ func ExplainCircuitAt(ctx context.Context, elin *circuit.Node, endo []db.FactID,
 		return res, nil
 	}
 	t2 := time.Now()
-	values, err := ShapleyStage(ctx, reduced, endo, opts)
+	sctx, ssp := trace.Start(ctx, string(StageShapley))
+	ssp.Set("facts", len(endo))
+	values, err := ShapleyStage(sctx, reduced, endo, opts)
 	res.ShapleyTime = time.Since(t2)
 	if err != nil {
+		ssp.Set("error", err.Error())
+		ssp.End()
 		return res, err
 	}
+	ssp.End()
 	res.Values = values
 	if art != nil {
 		art.hasValues, art.valuesEpoch, art.values = true, epoch, values

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Compilation errors. A compilation that exceeds its time or size budget
@@ -254,8 +255,47 @@ func (c *compiler) compileRoot(ctx context.Context, clauses []cnf.Clause) (*Node
 // ∨-gates), and component caching — the classic construction behind c2d and
 // dsharp. The context carries external cancellation (distinct from
 // Options.Timeout, which is this compilation's own budget and yields
-// ErrTimeout); ctx errors are returned as-is.
+// ErrTimeout); ctx errors are returned as-is. When ctx carries a trace
+// collector, the compilation records a "dnnf" span annotated with the
+// workers granted, the cache-hit kind, and the speculation and portfolio
+// outcomes.
 func Compile(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, error) {
+	ctx, sp := trace.Start(ctx, "dnnf")
+	root, stats, err := compileFormula(ctx, f, opts)
+	if sp != nil {
+		sp.Set("clauses", len(f.Clauses))
+		sp.Set("workers", parallel.Workers(opts.Workers))
+		sp.Set("nodes", stats.Nodes)
+		sp.Set("decisions", stats.Decisions)
+		if opts.Cache != nil {
+			switch {
+			case stats.RenamedHit:
+				sp.Set("cache", "renamed")
+			case stats.CrossCallHit:
+				sp.Set("cache", "identical")
+			default:
+				sp.Set("cache", "miss")
+			}
+		}
+		if opts.Speculate {
+			sp.Set("speculated", stats.SpeculatedDecisions)
+			sp.Set("speculation_cancels", stats.SpeculationCancels)
+		}
+		if stats.PortfolioRacers > 0 {
+			sp.Set("portfolio_racers", stats.PortfolioRacers)
+			sp.Set("portfolio_winner", stats.PortfolioWinner)
+			sp.Set("portfolio_losers_cancelled", stats.PortfolioLosersCancelled)
+		}
+		if err != nil {
+			sp.Set("error", err.Error())
+		}
+		sp.End()
+	}
+	return root, stats, err
+}
+
+// compileFormula is Compile without the tracing shim.
+func compileFormula(ctx context.Context, f *cnf.Formula, opts Options) (*Node, Stats, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		// An already-cancelled caller gets its error immediately — the

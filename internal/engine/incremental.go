@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/db"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // Incremental maintains the answers of one query over one database under
@@ -69,7 +71,10 @@ type liveAnswer struct {
 }
 
 // NewIncremental evaluates the query once and returns the maintained state.
-func NewIncremental(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) (*Incremental, error) {
+// When ctx carries a trace collector, the initial grounding is recorded as a
+// "ground" span annotated with the disjunct and answer counts.
+func NewIncremental(ctx context.Context, d *db.Database, q *query.UCQ, b *circuit.Builder, opts Options) (*Incremental, error) {
+	_, sp := trace.Start(ctx, "ground")
 	inc := &Incremental{
 		d:       d,
 		q:       q,
@@ -80,12 +85,17 @@ func NewIncremental(d *db.Database, q *query.UCQ, b *circuit.Builder, opts Optio
 	for i := range q.Disjuncts {
 		derivs, err := deriveCQ(d, &q.Disjuncts[i], -1, nil)
 		if err != nil {
+			sp.Set("error", err.Error())
+			sp.End()
 			return nil, fmt.Errorf("engine: disjunct %d: %w", i, err)
 		}
 		for _, dv := range derivs {
 			inc.addDerivation(dv)
 		}
 	}
+	sp.Set("disjuncts", len(q.Disjuncts))
+	sp.Set("answers", len(inc.answers))
+	sp.End()
 	return inc, nil
 }
 
@@ -127,10 +137,14 @@ func (inc *Incremental) indexDerivation(key, dkey string, facts []*db.Fact) {
 
 // Insert delta-evaluates the already-inserted fact f and splices any new
 // derivations into the maintained answers. It returns the tuples whose
-// lineage changed (including tuples that newly appeared).
-func (inc *Incremental) Insert(f *db.Fact) ([]db.Tuple, error) {
+// lineage changed (including tuples that newly appeared). The delta join is
+// recorded as a "delta-insert" span when ctx carries a trace collector.
+func (inc *Incremental) Insert(ctx context.Context, f *db.Fact) ([]db.Tuple, error) {
+	_, sp := trace.Start(ctx, "delta-insert")
 	derivs, err := EvalDelta(inc.d, inc.q, f)
 	if err != nil {
+		sp.Set("error", err.Error())
+		sp.End()
 		return nil, err
 	}
 	changedSet := make(map[string]*liveAnswer)
@@ -152,17 +166,23 @@ func (inc *Incremental) Insert(f *db.Fact) ([]db.Tuple, error) {
 		a.epoch = inc.epoch
 		changed = append(changed, a.tuple)
 	}
+	sp.Set("touched", len(changed))
+	sp.End()
 	return changed, nil
 }
 
 // Delete removes every derivation supported by the fact with the given ID
 // and returns the tuples whose lineage changed (including tuples that
 // vanished from the answer set). The fact may already be gone from the
-// database; only the index is consulted.
-func (inc *Incremental) Delete(id db.FactID) []db.Tuple {
+// database; only the index is consulted. The unlinking is recorded as a
+// "delta-delete" span when ctx carries a trace collector.
+func (inc *Incremental) Delete(ctx context.Context, id db.FactID) []db.Tuple {
+	_, sp := trace.Start(ctx, "delta-delete")
 	inc.ensureIndex()
 	touched := inc.byFact[id]
 	if len(touched) == 0 {
+		sp.Set("touched", 0)
+		sp.End()
 		return nil
 	}
 	inc.epoch++
@@ -198,6 +218,8 @@ func (inc *Incremental) Delete(id db.FactID) []db.Tuple {
 		a.epoch = inc.epoch
 	}
 	delete(inc.byFact, id)
+	sp.Set("touched", len(changed))
+	sp.End()
 	return changed
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -95,7 +96,7 @@ func TestIncrementalMatchesEvalUnderRandomUpdates(t *testing.T) {
 					t.Fatal(err)
 				}
 				opts := Options{Mode: ModeEndogenous}
-				inc, err := NewIncremental(d, q, circuit.NewBuilder(), opts)
+				inc, err := NewIncremental(context.Background(), d, q, circuit.NewBuilder(), opts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -113,11 +114,11 @@ func TestIncrementalMatchesEvalUnderRandomUpdates(t *testing.T) {
 						if err := d.Delete(id); err != nil {
 							t.Fatal(err)
 						}
-						inc.Delete(id)
+						inc.Delete(context.Background(), id)
 					} else {
 						rel, vals := randFact()
 						f := d.MustInsert(rel, rng.Intn(4) != 0, vals...)
-						if _, err := inc.Insert(f); err != nil {
+						if _, err := inc.Insert(context.Background(), f); err != nil {
 							t.Fatal(err)
 						}
 					}
@@ -138,7 +139,7 @@ func TestIncrementalEpochsAndChangedTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inc, err := NewIncremental(d, q, circuit.NewBuilder(), Options{Mode: ModeEndogenous})
+	inc, err := NewIncremental(context.Background(), d, q, circuit.NewBuilder(), Options{Mode: ModeEndogenous})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestIncrementalEpochsAndChangedTuples(t *testing.T) {
 
 	// An insert that derives nothing new must not bump any epoch.
 	f := d.MustInsert("S", true, db.Int(9), db.Int(9))
-	changed, err := inc.Insert(f)
+	changed, err := inc.Insert(context.Background(), f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestIncrementalEpochsAndChangedTuples(t *testing.T) {
 
 	// A second witness for the same tuple changes its lineage and epoch.
 	f2 := d.MustInsert("S", true, db.Int(2), db.Int(7))
-	changed, err = inc.Insert(f2)
+	changed, err = inc.Insert(context.Background(), f2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestIncrementalEpochsAndChangedTuples(t *testing.T) {
 	if err := d.Delete(r1.ID); err != nil {
 		t.Fatal(err)
 	}
-	gone := inc.Delete(r1.ID)
+	gone := inc.Delete(context.Background(), r1.ID)
 	if len(gone) != 1 {
 		t.Fatalf("delete changed %v, want the one answer", gone)
 	}
@@ -184,7 +185,7 @@ func TestIncrementalEpochsAndChangedTuples(t *testing.T) {
 		t.Fatalf("answers after delete = %d, want 0", n)
 	}
 	// Deleting a fact that supports nothing is a no-op.
-	if got := inc.Delete(f.ID); got != nil {
+	if got := inc.Delete(context.Background(), f.ID); got != nil {
 		t.Fatalf("no-op delete changed %v", got)
 	}
 }

@@ -243,17 +243,23 @@ type Recorder struct {
 	start     time.Time
 	sampleCap int
 	routes    map[string]*routeRecord
+	// stages holds cumulative per-pipeline-stage duration histograms, fed by
+	// trace span observers (ObserveStage); exported only via WritePrometheus.
+	stages map[string]*histogram
 }
 
 type routeRecord struct {
 	count    int64
 	errors   int64
-	sheds    int64           // requests refused by admission control (429)
-	panics   int64           // handler panics recovered into 500s
-	timeout  int64           // requests cut off by the per-request deadline (504)
-	degraded int64           // requests answered approximately after budget exhaustion
-	samples  []time.Duration // ring buffer of the last sampleCap latencies
-	next     int             // ring write cursor once len == sampleCap
+	sheds    int64            // requests refused by admission control (429)
+	panics   int64            // handler panics recovered into 500s
+	timeout  int64            // requests cut off by the per-request deadline (504)
+	degraded int64            // requests answered approximately after budget exhaustion
+	samples  []time.Duration  // ring buffer of the last sampleCap latencies
+	next     int              // ring write cursor once len == sampleCap
+	codes    map[int]int64    // completed requests by HTTP status code
+	hist     histogram        // cumulative request latency histogram
+	causes   map[string]int64 // degraded requests by cause label
 }
 
 // DefaultLatencyWindow is the per-route latency ring size used when
@@ -266,7 +272,12 @@ func NewRecorder(sampleCap int) *Recorder {
 	if sampleCap <= 0 {
 		sampleCap = DefaultLatencyWindow
 	}
-	return &Recorder{start: time.Now(), sampleCap: sampleCap, routes: make(map[string]*routeRecord)}
+	return &Recorder{
+		start:     time.Now(),
+		sampleCap: sampleCap,
+		routes:    make(map[string]*routeRecord),
+		stages:    make(map[string]*histogram),
+	}
 }
 
 // Observe records one completed request: its route label, HTTP status, and
@@ -276,6 +287,8 @@ func (r *Recorder) Observe(route string, status int, d time.Duration) {
 	defer r.mu.Unlock()
 	rec := r.route(route)
 	rec.count++
+	rec.codes[status]++
+	rec.hist.observe(d.Seconds())
 	if status < 200 || status >= 300 {
 		rec.errors++
 	}
@@ -287,12 +300,27 @@ func (r *Recorder) Observe(route string, status int, d time.Duration) {
 	}
 }
 
+// ObserveStage records one pipeline-stage duration into the stage's
+// cumulative histogram. Its signature matches trace.Observer, so a Recorder
+// can be wired directly as a trace root's observer (and as
+// repro.Options.StageObserver for out-of-trace stages).
+func (r *Recorder) ObserveStage(stage string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.stages[stage]
+	if h == nil {
+		h = &histogram{}
+		r.stages[stage] = h
+	}
+	h.observe(d.Seconds())
+}
+
 // route returns (creating if needed) the record for a route label. Callers
 // must hold r.mu.
 func (r *Recorder) route(label string) *routeRecord {
 	rec := r.routes[label]
 	if rec == nil {
-		rec = &routeRecord{}
+		rec = &routeRecord{codes: make(map[int]int64), causes: make(map[string]int64)}
 		r.routes[label] = rec
 	}
 	return rec
@@ -331,6 +359,17 @@ func (r *Recorder) Degraded(route string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.route(route).degraded++
+}
+
+// DegradedCause counts one degradation cause ("mode", "node_budget",
+// "deadline", "error") for a route, feeding the labeled
+// repro_degraded_total{route,cause} counter. A request degraded for several
+// distinct causes (different tuples) counts once per cause; the aggregate
+// Degraded counter stays once-per-request.
+func (r *Recorder) DegradedCause(route, cause string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.route(route).causes[cause]++
 }
 
 // RouteStats is one route's snapshot from Recorder.Snapshot.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -206,8 +207,14 @@ func (p *Pool) release(e *entry) {
 // (explains of other queries over the same database proceed concurrently;
 // update application excludes them).
 func (p *Pool) Explain(ctx context.Context, key Key, budget repro.ExplainBudget) ([]repro.TupleExplanation, error) {
+	// The acquire span covers pool acquisition (including a cold session
+	// open's grounding wait) and the dataset read-lock wait — the queueing
+	// portion of a pooled explain's latency.
+	_, sp := trace.Start(ctx, "acquire")
 	e, err := p.acquire(key)
 	if err != nil {
+		sp.Set("error", err.Error())
+		sp.End()
 		return nil, err
 	}
 	defer p.release(e)
@@ -216,6 +223,7 @@ func (p *Pool) Explain(ctx context.Context, key Key, budget repro.ExplainBudget)
 	}
 	lock := p.dbLock(key.Dataset)
 	lock.RLock()
+	sp.End()
 	defer lock.RUnlock()
 	if budget.Enabled() {
 		return e.sess.ExplainWithBudget(ctx, budget)
@@ -253,7 +261,11 @@ func (p *Pool) inFlight() int {
 // bad mutation never fails its neighbors. Within one request, Apply's
 // documented non-transactional semantics hold: a failing request may have
 // had a prefix of its own mutations applied.
-func (p *Pool) Update(key Key, muts []repro.Mutation) ([]*repro.Fact, int, error) {
+// The context traces the caller's spans (batch application is not
+// cancellable mid-batch); a follower's mutations may be applied under the
+// leader's context, so a coalesced request's delta spans can land in the
+// leader's trace rather than its own.
+func (p *Pool) Update(ctx context.Context, key Key, muts []repro.Mutation) ([]*repro.Fact, int, error) {
 	e, err := p.acquire(key)
 	if err != nil {
 		return nil, 0, err
@@ -279,7 +291,7 @@ func (p *Pool) Update(key Key, muts []repro.Mutation) ([]*repro.Fact, int, error
 		batch := e.pending
 		e.pending = nil
 		e.bmu.Unlock()
-		requeue := p.applyBatch(e, batch)
+		requeue := p.applyBatch(ctx, e, batch)
 		e.bmu.Lock()
 		e.pending = append(requeue, e.pending...)
 	}
@@ -296,14 +308,14 @@ func (p *Pool) Update(key Key, muts []repro.Mutation) ([]*repro.Fact, int, error
 // application never reached are returned for requeueing (their done channel
 // stays open). Each applyBatch resolves at least one call, so the leader's
 // drain loop always terminates.
-func (p *Pool) applyBatch(e *entry, batch []*updateCall) (requeue []*updateCall) {
+func (p *Pool) applyBatch(ctx context.Context, e *entry, batch []*updateCall) (requeue []*updateCall) {
 	var all []repro.Mutation
 	for _, c := range batch {
 		all = append(all, c.muts...)
 	}
 	lock := p.dbLock(e.key.Dataset)
 	lock.Lock()
-	facts, err := e.sess.Apply(all)
+	facts, err := e.sess.ApplyContext(ctx, all)
 	lock.Unlock()
 	if facts == nil {
 		// Apply failed before touching any mutation (closed session, failed

@@ -163,7 +163,7 @@ func TestPoolUpdateCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			facts, batched, err := p.Update(key, []repro.Mutation{
+			facts, batched, err := p.Update(context.Background(), key, []repro.Mutation{
 				repro.InsertOp("Flights", true, repro.String(usa[i]), repro.String("ORY")),
 			})
 			results <- struct {
@@ -186,7 +186,7 @@ func TestPoolUpdateCoalescing(t *testing.T) {
 	batch := e.pending
 	e.pending = nil
 	e.bmu.Unlock()
-	p.applyBatch(e, batch)
+	p.applyBatch(context.Background(), e, batch)
 	e.bmu.Lock()
 	e.applying = false
 	e.bmu.Unlock()
@@ -243,7 +243,7 @@ func TestPoolUpdateCoalescing(t *testing.T) {
 func TestPoolUpdateSequential(t *testing.T) {
 	p, _ := newTestPool(t, 2)
 	key := flightsKey()
-	facts, batched, err := p.Update(key, []repro.Mutation{
+	facts, batched, err := p.Update(context.Background(), key, []repro.Mutation{
 		repro.InsertOp("Flights", true, repro.String("JFK"), repro.String("ORY")),
 	})
 	if err != nil {
@@ -252,7 +252,7 @@ func TestPoolUpdateSequential(t *testing.T) {
 	if batched != 1 {
 		t.Errorf("batched = %d, want 1", batched)
 	}
-	if _, _, err := p.Update(key, []repro.Mutation{repro.DeleteOp(facts[0].ID)}); err != nil {
+	if _, _, err := p.Update(context.Background(), key, []repro.Mutation{repro.DeleteOp(facts[0].ID)}); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Stats()
@@ -282,7 +282,7 @@ func TestPoolBatchErrorAttribution(t *testing.T) {
 	bad := mk(repro.DeleteOp(repro.FactID(9999)))
 	good2 := mk(repro.InsertOp("Flights", true, repro.String("BOS"), repro.String("ORY")))
 
-	requeue := p.applyBatch(e, []*updateCall{good1, bad, good2})
+	requeue := p.applyBatch(context.Background(), e, []*updateCall{good1, bad, good2})
 	<-good1.done
 	<-bad.done
 	if good1.err != nil || good1.facts[0] == nil {
@@ -299,7 +299,7 @@ func TestPoolBatchErrorAttribution(t *testing.T) {
 		t.Fatal("unreached call resolved before its requeue ran")
 	default:
 	}
-	if rq := p.applyBatch(e, requeue); len(rq) != 0 {
+	if rq := p.applyBatch(context.Background(), e, requeue); len(rq) != 0 {
 		t.Fatalf("requeued batch requeued again: %v", rq)
 	}
 	<-good2.done
@@ -326,7 +326,7 @@ func TestPoolUpdateOnClosedSession(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := p.Update(key, []repro.Mutation{
+		_, _, err := p.Update(context.Background(), key, []repro.Mutation{
 			repro.InsertOp("Flights", true, repro.String("JFK"), repro.String("ORY")),
 		})
 		done <- err

@@ -30,15 +30,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/dnnf"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -62,20 +65,39 @@ type Config struct {
 	// Zero means no per-request deadline.
 	RequestTimeout time.Duration
 	// MaxInFlight bounds concurrently executing requests per work route
-	// (/v1/explain and /v1/update each get their own bound; /v1/stats and
-	// /healthz stay admission-free so the service remains observable under
-	// overload). Excess requests are shed immediately with 429 and a
-	// Retry-After header rather than queueing. Zero means unbounded.
+	// (/v1/explain and /v1/update each get their own bound; /v1/stats,
+	// /metrics, /v1/debug/slow, and /healthz stay admission-free so the
+	// service remains observable under overload). Excess requests are shed
+	// immediately with 429 and a Retry-After header rather than queueing.
+	// Zero means unbounded.
 	MaxInFlight int
+	// Logger receives the server's structured request logs (error responses
+	// and slow explains, each tagged with its request ID). Nil uses
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowThreshold is the wall-clock bound past which an explain request is
+	// recorded in the slow-explain ring (GET /v1/debug/slow) with its full
+	// stage trace, and logged. Zero disables the slow log.
+	SlowThreshold time.Duration
+	// SlowLogSize bounds the slow-explain ring (≤ 0 = DefaultSlowLogSize).
+	SlowLogSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/, restricted to
+	// loopback clients.
+	EnablePprof bool
 }
 
 // Server serves the explanation API over a session pool.
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	locks map[string]*sync.RWMutex
-	rec   *metrics.Recorder
-	mux   *http.ServeMux
+	cfg    Config
+	pool   *Pool
+	locks  map[string]*sync.RWMutex
+	rec    *metrics.Recorder
+	mux    *http.ServeMux
+	logger *slog.Logger
+	slow   *slowLog
+	// idBase + idSeq mint the per-request IDs (see observe.go).
+	idBase string
+	idSeq  atomic.Uint64
 	// admit holds the per-route admission semaphores (nil when MaxInFlight
 	// is unbounded): a slot must be acquired before the handler runs.
 	admit map[string]chan struct{}
@@ -90,11 +112,21 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		locks: make(map[string]*sync.RWMutex, len(cfg.Datasets)),
-		rec:   metrics.NewRecorder(cfg.LatencyWindow),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		locks:  make(map[string]*sync.RWMutex, len(cfg.Datasets)),
+		rec:    metrics.NewRecorder(cfg.LatencyWindow),
+		mux:    http.NewServeMux(),
+		logger: cfg.Logger,
+		slow:   newSlowLog(cfg.SlowLogSize),
+		idBase: newIDBase(),
 	}
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	// Out-of-trace pipeline stages (open-time grounding, background exact
+	// upgrades) report into the per-stage histograms; in-trace stages report
+	// through each request's trace root, so nothing counts twice.
+	s.cfg.Options.StageObserver = s.rec.ObserveStage
 	for name := range cfg.Datasets {
 		s.locks[name] = new(sync.RWMutex)
 	}
@@ -110,7 +142,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/explain", s.instrument("/v1/explain", s.guard("/v1/explain", s.handleExplain)))
 	s.mux.HandleFunc("/v1/update", s.instrument("/v1/update", s.guard("/v1/update", s.handleUpdate)))
 	s.mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("/v1/debug/slow", s.instrument("/v1/debug/slow", s.handleSlow))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.registerPprof()
+	}
 	return s, nil
 }
 
@@ -156,23 +193,35 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request recorder feeding /v1/stats.
-// It also classifies degradation outcomes by status: only admission control
-// writes 429 and only the deadline middleware produces 504, so those
-// statuses are the shed and timeout counters (panics are ambiguous with
-// plain 500s and are counted where they are recovered).
+// instrument wraps a handler with the request recorder feeding /v1/stats
+// and /metrics. It assigns the request its ID (returned as X-Request-Id and
+// carried in the context for handlers to echo and log), and classifies
+// degradation outcomes by status: only admission control writes 429 and
+// only the deadline middleware produces 504, so those statuses are the shed
+// and timeout counters (panics are ambiguous with plain 500s and are
+// counted where they are recovered). Error responses are logged with the
+// request ID.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := s.nextRequestID()
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
+		d := time.Since(start)
 		switch rec.status {
 		case http.StatusTooManyRequests:
 			s.rec.Shed(route)
 		case http.StatusGatewayTimeout:
 			s.rec.TimedOut(route)
 		}
-		s.rec.Observe(route, rec.status, time.Since(start))
+		s.rec.Observe(route, rec.status, d)
+		if rec.status >= 400 {
+			s.logger.Warn("request failed",
+				"request_id", id, "route", route, "status", rec.status,
+				"elapsed_ms", float64(d)/float64(time.Millisecond))
+		}
 	}
 }
 
@@ -332,7 +381,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := q.String()
 
-	start := time.Now()
+	// Every explain runs under a collecting trace root: span Ends feed the
+	// per-stage latency histograms, the tree is returned when the request
+	// asked for it, and slow requests retain it in the slow-explain ring.
+	// The root's duration is the reported request latency, so the tree's
+	// stage durations sum (within scheduling slack) to elapsed_ms.
+	rctx, root := trace.NewRoot(r.Context(), "explain", s.rec.ObserveStage)
 	var es []repro.TupleExplanation
 	if req.NoPool {
 		// Open-per-request baseline: ground, explain, close — the cost a
@@ -341,32 +395,65 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		opts := s.cfg.Options
 		opts.Budget = budget
 		lock.RLock()
-		es, err = repro.Explain(r.Context(), d, q, opts)
+		es, err = repro.Explain(rctx, d, q, opts)
 		lock.RUnlock()
 	} else {
-		es, err = s.pool.Explain(r.Context(), Key{Dataset: req.Dataset, Query: norm}, budget)
+		es, err = s.pool.Explain(rctx, Key{Dataset: req.Dataset, Query: norm}, budget)
 	}
 	if err != nil {
+		root.End()
 		writeError(w, errStatus(err), err)
 		return
 	}
+	// Degraded is once per request; each distinct cause among the tuples
+	// ticks the labeled cause counter once.
+	causes := make(map[string]bool)
 	for _, e := range es {
 		if e.Method == repro.MethodApprox {
-			s.rec.Degraded("/v1/explain")
-			break
+			cause := e.DegradedCause
+			if cause == "" {
+				cause = "unknown"
+			}
+			causes[cause] = true
 		}
 	}
+	if len(causes) > 0 {
+		s.rec.Degraded("/v1/explain")
+		for cause := range causes {
+			s.rec.DegradedCause("/v1/explain", cause)
+		}
+	}
+	root.End()
+	elapsed := root.Duration()
 
-	lock.RLock()
-	tuples := wire.EncodeExplanations(d, es, req.Top)
-	lock.RUnlock()
-	writeJSON(w, http.StatusOK, wire.ExplainResponse{
+	resp := wire.ExplainResponse{
 		Dataset:   req.Dataset,
 		Query:     norm,
 		Pooled:    !req.NoPool,
-		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
-		Tuples:    tuples,
-	})
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+		RequestID: requestID(r),
+	}
+	if req.Trace {
+		resp.Trace = root.Snapshot()
+	}
+	if s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold {
+		s.slow.add(wire.SlowEntry{
+			RequestID: resp.RequestID,
+			Dataset:   req.Dataset,
+			Query:     norm,
+			Time:      time.Now().UTC().Format(time.RFC3339Nano),
+			ElapsedMs: resp.ElapsedMs,
+			Trace:     root.Snapshot(),
+		})
+		s.logger.Warn("slow explain",
+			"request_id", resp.RequestID, "dataset", req.Dataset, "query", norm,
+			"elapsed_ms", resp.ElapsedMs, "tuples", len(es))
+	}
+
+	lock.RLock()
+	resp.Tuples = wire.EncodeExplanations(d, es, req.Top)
+	lock.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -424,7 +511,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		muts = append(muts, repro.DeleteOp(id))
 	}
 
-	resp := wire.UpdateResponse{DeletedIDs: deleteIDs}
+	resp := wire.UpdateResponse{DeletedIDs: deleteIDs, RequestID: requestID(r)}
+	rctx, root := trace.NewRoot(r.Context(), "update", s.rec.ObserveStage)
+	defer root.End()
 	var facts []*repro.Fact
 	if req.Query == "" {
 		// No session addressed: apply directly to the database under the
@@ -440,7 +529,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Pooled = true
-		facts, resp.BatchRequests, err = s.pool.Update(Key{Dataset: req.Dataset, Query: q.String()}, muts)
+		facts, resp.BatchRequests, err = s.pool.Update(rctx, Key{Dataset: req.Dataset, Query: q.String()}, muts)
 	}
 	if err != nil {
 		writeError(w, errStatus(err), err)

@@ -23,7 +23,15 @@ import (
 	"repro"
 	"repro/internal/db"
 	"repro/internal/dnnf"
+	"repro/internal/trace"
 )
+
+// TraceSpan is one node of a request's stage-trace tree: the span's name,
+// start offset and duration in milliseconds, stage-specific attributes
+// (clause/node counts, cache hit kind, speculation and portfolio outcomes,
+// degradation cause), and child spans. It aliases trace.SpanNode so the
+// server can attach a snapshot without conversion.
+type TraceSpan = trace.SpanNode
 
 // ExplainRequest is the body of POST /v1/explain.
 type ExplainRequest struct {
@@ -55,6 +63,9 @@ type ExplainRequest struct {
 	// Seed perturbs the deterministic sampling seed (0 = the canonical
 	// lineage-derived seed).
 	Seed int64 `json:"seed,omitempty"`
+	// Trace asks the server to return the request's stage-trace span tree
+	// in the response's "trace" field.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // FactScore is one ranked fact of a tuple's explanation.
@@ -91,6 +102,10 @@ type TupleExplanation struct {
 	// absent on exact answers.
 	Approximate bool `json:"approximate,omitempty"`
 	Samples     int  `json:"samples,omitempty"`
+	// DegradedCause says why an approximate tuple degraded: "mode" (the
+	// request asked for sampling), "node_budget", "deadline", or "error";
+	// absent on exact and proxy answers.
+	DegradedCause string `json:"degraded_cause,omitempty"`
 	// NumFacts is the number of distinct endogenous facts in the lineage.
 	NumFacts int `json:"num_facts"`
 	// ElapsedMs is the wall-clock cost of explaining this tuple (for cached
@@ -113,6 +128,13 @@ type ExplainResponse struct {
 	// request.
 	ElapsedMs float64            `json:"elapsed_ms"`
 	Tuples    []TupleExplanation `json:"tuples"`
+	// RequestID echoes the server-assigned request ID (also sent as the
+	// X-Request-Id header), correlating the response with server logs and
+	// the slow-explain log. Absent on CLI output.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the request's stage-trace span tree, present when the request
+	// set "trace": true.
+	Trace *TraceSpan `json:"trace,omitempty"`
 }
 
 // InsertSpec describes one fact insertion in an update batch.
@@ -157,6 +179,30 @@ type UpdateResponse struct {
 	// into the one session application that covered this request (≥ 1;
 	// only meaningful when Pooled).
 	BatchRequests int `json:"batch_requests,omitempty"`
+	// RequestID echoes the server-assigned request ID (also the
+	// X-Request-Id header).
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// SlowEntry is one request in the server's slow-explain ring, served by
+// GET /v1/debug/slow: the request's identity, when it finished, how long it
+// took, and its full stage trace.
+type SlowEntry struct {
+	RequestID string  `json:"request_id"`
+	Dataset   string  `json:"dataset"`
+	Query     string  `json:"query"`
+	Time      string  `json:"time"` // RFC 3339, when the request completed
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Trace is the request's span tree (always captured for slow requests,
+	// whether or not the client asked for it).
+	Trace *TraceSpan `json:"trace,omitempty"`
+}
+
+// SlowResponse is the body of GET /v1/debug/slow: the configured threshold
+// and the retained slow requests, most recent last.
+type SlowResponse struct {
+	ThresholdMs float64     `json:"threshold_ms"`
+	Entries     []SlowEntry `json:"entries"`
 }
 
 // PoolStats is the session pool's counter snapshot, served by GET /v1/stats
@@ -385,13 +431,14 @@ func EncodeExplanations(d *repro.Database, es []repro.TupleExplanation, top int)
 			facts[j] = fs
 		}
 		out[i] = TupleExplanation{
-			Tuple:       EncodeTuple(e.Tuple),
-			Method:      e.Method.String(),
-			Approximate: e.Method == repro.MethodApprox,
-			Samples:     e.Samples,
-			NumFacts:    e.NumFacts,
-			ElapsedMs:   float64(e.Elapsed) / float64(time.Millisecond),
-			Facts:       facts,
+			Tuple:         EncodeTuple(e.Tuple),
+			Method:        e.Method.String(),
+			Approximate:   e.Method == repro.MethodApprox,
+			Samples:       e.Samples,
+			DegradedCause: e.DegradedCause,
+			NumFacts:      e.NumFacts,
+			ElapsedMs:     float64(e.Elapsed) / float64(time.Millisecond),
+			Facts:         facts,
 		}
 	}
 	return out

@@ -295,6 +295,13 @@ type Options struct {
 	// The zero budget changes nothing. Session.ExplainWithBudget overrides
 	// it per call.
 	Budget ExplainBudget
+	// StageObserver, when non-nil, receives the name and wall-clock duration
+	// of pipeline stages that run outside any request trace: a session's
+	// open-time grounding and its background exact upgrades ("upgrade" plus
+	// the nested exact stages). Stages running under a request's trace
+	// collector (see internal/trace) report through that collector's observer
+	// instead, so nothing is double-counted. Must be safe for concurrent use.
+	StageObserver func(stage string, d time.Duration)
 }
 
 // Validate checks the options for values no pipeline configuration accepts
@@ -371,6 +378,9 @@ type TupleExplanation struct {
 	// only); ApproxSeed reproduces the run.
 	Samples    int
 	ApproxSeed int64
+	// DegradedCause says why a budgeted explanation degraded to MethodApprox
+	// ("mode", "node_budget", "deadline", or "error"); empty otherwise.
+	DegradedCause string
 	// Ranking lists the endogenous facts of the tuple's provenance by
 	// decreasing contribution.
 	Ranking []FactID
@@ -456,7 +466,7 @@ func CompileCacheStats() dnnf.CacheStats {
 // returned in query-evaluation order regardless of completion order.
 // Cancelling ctx aborts the remaining work and returns the context's error.
 func Explain(ctx context.Context, d *Database, q *Query, opts Options) ([]TupleExplanation, error) {
-	s, err := Open(d, q, opts)
+	s, err := OpenContext(ctx, d, q, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dnnf"
 	"repro/internal/engine"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // ErrSessionClosed is returned by every method of a closed Session.
@@ -118,6 +119,13 @@ type sessionTuple struct {
 // updates. The database is captured by reference: route updates through
 // Session.Insert / Session.Delete to get incremental maintenance.
 func Open(d *Database, q *Query, opts Options) (*Session, error) {
+	return OpenContext(context.Background(), d, q, opts)
+}
+
+// OpenContext is Open under the caller's context: the open-time grounding is
+// recorded on ctx's stage trace when one is collecting (the context is used
+// for observability only; grounding runs to completion regardless).
+func OpenContext(ctx context.Context, d *Database, q *Query, opts Options) (*Session, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,24 +138,40 @@ func Open(d *Database, q *Query, opts Options) (*Session, error) {
 		upgrading: make(map[string]bool),
 	}
 	s.bgCtx, s.bgStop = context.WithCancel(context.Background())
-	if err := s.ground(); err != nil {
+	if err := s.ground(ctx); err != nil {
 		s.bgStop()
 		return nil, err
 	}
 	return s, nil
 }
 
+// observe reports one out-of-trace stage duration to Options.StageObserver.
+// Stages running under a request trace report through the trace's own
+// observer (the span End does it), so callers only use observe when
+// trace.Active(ctx) is false.
+func (s *Session) observe(stage string, d time.Duration) {
+	if s.opts.StageObserver != nil {
+		s.opts.StageObserver(stage, d)
+	}
+}
+
 // ground (re)builds the session's evaluation state from the current
 // database, dropping all cached artifacts. Callers hold s.mu (or own s
-// exclusively, as Open does).
-func (s *Session) ground() error {
+// exclusively, as Open does). The grounding is recorded on ctx's trace when
+// one is collecting (the engine opens the "ground" span) and reported to
+// Options.StageObserver otherwise.
+func (s *Session) ground(ctx context.Context) error {
+	start := time.Now()
 	if s.opts.IndexBudget > 0 {
 		s.d.SetIndexBudget(s.opts.IndexBudget)
 	}
 	s.cb = circuit.NewBuilder()
-	inc, err := engine.NewIncremental(s.d, s.q, s.cb, engine.Options{Mode: engine.ModeEndogenous})
+	inc, err := engine.NewIncremental(ctx, s.d, s.q, s.cb, engine.Options{Mode: engine.ModeEndogenous})
 	if err != nil {
 		return err
+	}
+	if !trace.Active(ctx) {
+		s.observe("ground", time.Since(start))
 	}
 	s.inc = inc
 	s.tuples = make(map[string]*sessionTuple)
@@ -158,11 +182,11 @@ func (s *Session) ground() error {
 
 // sync re-grounds if the database was mutated out-of-band since the session
 // last saw it. Callers hold s.mu.
-func (s *Session) sync() error {
+func (s *Session) sync(ctx context.Context) error {
 	if s.d.Epoch() == s.epoch {
 		return nil
 	}
-	return s.ground()
+	return s.ground(ctx)
 }
 
 // Mutation describes one fact-level update for Apply: an insertion
@@ -221,12 +245,23 @@ func DeleteOp(id FactID) Mutation {
 // naming the offender's index, with every earlier mutation applied and the
 // session still consistent with the database.
 func (s *Session) Apply(muts []Mutation) ([]*Fact, error) {
+	return s.ApplyContext(context.Background(), muts)
+}
+
+// ApplyContext is Apply with a caller context. The context is used only for
+// trace collection (each mutation's delta join is recorded under a "delta"
+// span when ctx carries a collector); the application itself is not
+// cancellable mid-batch — stopping between mutations would leave callers
+// guessing which prefix applied for no failure of the batch itself.
+func (s *Session) ApplyContext(ctx context.Context, muts []Mutation) ([]*Fact, error) {
+	dctx, dsp := trace.Start(ctx, "delta")
+	defer dsp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	if err := s.sync(); err != nil {
+	if err := s.sync(dctx); err != nil {
 		return nil, err
 	}
 	out := make([]*Fact, len(muts))
@@ -236,19 +271,25 @@ func (s *Session) Apply(muts []Mutation) ([]*Fact, error) {
 			s.cache.Invalidate(s.d.ID(), invalidate...)
 		}
 	}()
+	inserts, deletes := 0, 0
+	defer func() {
+		dsp.Set("inserts", inserts)
+		dsp.Set("deletes", deletes)
+	}()
 	for i, m := range muts {
 		if m.Insert {
 			f, err := s.d.Insert(m.Relation, m.Endogenous, m.Values...)
 			if err != nil {
 				return out, &MutationError{Index: i, Err: err}
 			}
-			if _, err := s.inc.Insert(f); err != nil {
+			if _, err := s.inc.Insert(dctx, f); err != nil {
 				// The database advanced but the session did not: leave the
 				// epochs mismatched so the next call re-grounds.
 				return out, &MutationError{Index: i, Err: err}
 			}
 			out[i] = f
 			s.inserts++
+			inserts++
 		} else {
 			f := s.d.Fact(m.ID)
 			if f == nil {
@@ -257,11 +298,12 @@ func (s *Session) Apply(muts []Mutation) ([]*Fact, error) {
 			if err := s.d.Delete(m.ID); err != nil {
 				return out, &MutationError{Index: i, Err: err}
 			}
-			s.inc.Delete(m.ID)
+			s.inc.Delete(dctx, m.ID)
 			if f.Endogenous {
 				invalidate = append(invalidate, int(m.ID))
 			}
 			s.deletes++
+			deletes++
 		}
 		s.epoch = s.d.Epoch()
 	}
@@ -335,7 +377,7 @@ func (s *Session) ExplainWithBudget(ctx context.Context, budget ExplainBudget) (
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	if err := s.sync(); err != nil {
+	if err := s.sync(ctx); err != nil {
 		return nil, err
 	}
 	live := s.inc.Live()
@@ -380,6 +422,8 @@ func (s *Session) ExplainWithBudget(ctx context.Context, budget ExplainBudget) (
 	err := parallel.ForEach(ctx, len(live), outer, func(_, i int) error {
 		a := live[i]
 		entry := s.tuples[a.Key]
+		tctx, tsp := trace.Start(ctx, "tuple")
+		tsp.Set("tuple", a.Tuple.String())
 		// A cached explanation at the current epoch is served verbatim —
 		// unless it is approximate and this call did not opt into
 		// approximation, in which case the exact pipeline runs (and replaces
@@ -387,10 +431,16 @@ func (s *Session) ExplainWithBudget(ctx context.Context, budget ExplainBudget) (
 		if entry.expl != nil && entry.epoch == a.Epoch &&
 			(entry.expl.Method != MethodApprox || budgeted) {
 			out[i] = *entry.expl
+			tsp.Set("cached", true)
+			tsp.Set("method", entry.expl.Method.String())
+			if entry.expl.DegradedCause != "" {
+				tsp.Set("cause", entry.expl.DegradedCause)
+			}
+			tsp.End()
 			return nil
 		}
 		endo := lineageEndo(a.Lineage)
-		h, err := core.HybridAt(ctx, a.Lineage, endo, a.Epoch, entry.art, core.HybridOptions{
+		h, err := core.HybridAt(tctx, a.Lineage, endo, a.Epoch, entry.art, core.HybridOptions{
 			Timeout:          s.opts.Timeout,
 			MaxNodes:         s.opts.MaxNodes,
 			Workers:          inner,
@@ -404,6 +454,8 @@ func (s *Session) ExplainWithBudget(ctx context.Context, budget ExplainBudget) (
 			Budget:           budget,
 		})
 		if err != nil {
+			tsp.Set("error", err.Error())
+			tsp.End()
 			return err
 		}
 		expl := &TupleExplanation{
@@ -419,10 +471,17 @@ func (s *Session) ExplainWithBudget(ctx context.Context, budget ExplainBudget) (
 			expl.Approx = h.Approx.Estimates
 			expl.Samples = h.Approx.Permutations
 			expl.ApproxSeed = h.Approx.Seed
+			expl.DegradedCause = h.DegradedCause
 		}
 		entry.expl, entry.epoch = expl, a.Epoch
 		entry.upFailed = false
 		out[i] = *expl
+		tsp.Set("facts", len(endo))
+		tsp.Set("method", h.Method.String())
+		if h.DegradedCause != "" {
+			tsp.Set("cause", h.DegradedCause)
+		}
+		tsp.End()
 		return nil
 	})
 	if err != nil {
@@ -522,7 +581,17 @@ func (s *Session) upgradeTuple(key string) {
 
 	endo := lineageEndo(lineage)
 	start := time.Now()
-	res, err := core.ExplainCircuitAt(s.bgCtx, lineage, endo, epoch, nil, popts)
+	// Background upgrades run outside any request, so there is no request
+	// trace to attach to; when a StageObserver is configured, give the
+	// upgrade its own root so the nested exact stages (and the upgrade
+	// itself) still feed the per-stage histograms.
+	uctx := s.bgCtx
+	if s.opts.StageObserver != nil {
+		var root *trace.Span
+		uctx, root = trace.NewRoot(s.bgCtx, "upgrade", trace.Observer(s.opts.StageObserver))
+		defer root.End()
+	}
+	res, err := core.ExplainCircuitAt(uctx, lineage, endo, epoch, nil, popts)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -557,7 +626,7 @@ func (s *Session) NumAnswers() (int, error) {
 	if s.closed {
 		return 0, ErrSessionClosed
 	}
-	if err := s.sync(); err != nil {
+	if err := s.sync(context.Background()); err != nil {
 		return 0, err
 	}
 	return s.inc.Len(), nil
